@@ -1,0 +1,122 @@
+"""True performance microbenchmarks: DES engine throughput, trace
+synthesis throughput, and analysis throughput.
+
+Unlike the figure benchmarks these run multiple rounds -- they are the
+regression canaries for the substrate's performance.
+"""
+
+import numpy as np
+
+from repro.sim import Environment, Resource, Store
+from repro.trace import SynthesisConfig, TraceSynthesizer, all_inconsistencies
+
+
+def test_engine_timeout_throughput(benchmark):
+    """Schedule-and-run of 20k chained timeouts."""
+
+    def run():
+        env = Environment()
+
+        def ticker(env):
+            for _ in range(20_000):
+                yield env.timeout(1)
+
+        env.process(ticker(env))
+        env.run()
+        return env.now
+
+    result = benchmark(run)
+    assert result == 20_000
+
+
+def test_engine_process_churn(benchmark):
+    """Spawn 5k short-lived processes."""
+
+    def run():
+        env = Environment()
+        done = []
+
+        def worker(env, i):
+            yield env.timeout(i % 7)
+            done.append(i)
+
+        for i in range(5_000):
+            env.process(worker(env, i))
+        env.run()
+        return len(done)
+
+    assert benchmark(run) == 5_000
+
+
+def test_engine_resource_contention(benchmark):
+    """2k processes contending for a capacity-2 resource."""
+
+    def run():
+        env = Environment()
+        resource = Resource(env, capacity=2)
+        completed = []
+
+        def worker(env, i):
+            with resource.request() as grant:
+                yield grant
+                yield env.timeout(1)
+            completed.append(i)
+
+        for i in range(2_000):
+            env.process(worker(env, i))
+        env.run()
+        return len(completed)
+
+    assert benchmark(run) == 2_000
+
+
+def test_engine_store_pipeline(benchmark):
+    """Producer/consumer pipeline moving 10k items."""
+
+    def run():
+        env = Environment()
+        store = Store(env, capacity=64)
+        moved = []
+
+        def producer(env):
+            for i in range(10_000):
+                yield store.put(i)
+
+        def consumer(env):
+            for _ in range(10_000):
+                item = yield store.get()
+                moved.append(item)
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        return len(moved)
+
+    assert benchmark(run) == 10_000
+
+
+def test_trace_synthesis_throughput(benchmark):
+    """Generative model: one day of 200 servers (~180k poll records)."""
+
+    config = SynthesisConfig(n_servers=200, n_days=1)
+
+    def run():
+        trace = TraceSynthesizer(config, master_seed=1).synthesize()
+        return trace.total_polls()
+
+    polls = benchmark(run)
+    assert polls > 100_000
+
+
+def test_trace_analysis_throughput(benchmark):
+    """alpha/beta episode extraction over a full synthetic day."""
+
+    config = SynthesisConfig(n_servers=200, n_days=1)
+    trace = TraceSynthesizer(config, master_seed=1).synthesize()
+
+    def run():
+        return all_inconsistencies(trace)
+
+    lengths = benchmark(run)
+    assert lengths.size > 1_000
+    assert np.isfinite(lengths).all()

@@ -1,0 +1,114 @@
+"""Benchmarks regenerating every Section 3 figure (Figs. 3-12).
+
+Each benchmark times the analysis it regenerates and asserts the
+paper's qualitative finding for that figure.
+"""
+
+import numpy as np
+
+from repro.experiments.section3 import (
+    fig10_absence,
+    fig11_static_tree,
+    fig12_dynamic_tree,
+    fig3_inconsistency_cdf,
+    fig4_user_perspective,
+    fig5_inner_cluster,
+    fig6_ttl_inference,
+    fig7_provider_inconsistency,
+    fig8_distance,
+    fig9_isp,
+)
+
+
+def test_fig3_request_inconsistency_cdf(run_once, s3ctx):
+    result = run_once(fig3_inconsistency_cdf, s3ctx)
+    # Paper: 10.1% < 10 s, 20.3% > 50 s, mean ~40 s.
+    assert 0.05 < result.frac_below_10s < 0.20
+    assert 0.08 < result.frac_above_50s < 0.30
+    assert 28.0 < result.mean_s < 42.0
+
+
+def test_fig4_user_perspective(run_once, s3ctx):
+    result = run_once(fig4_user_perspective, s3ctx, intervals=(10.0, 30.0, 60.0))
+    # (a) most users see 13-17% of visits redirected.
+    assert 0.05 < result.redirect_fraction_summary.median < 0.30
+    # (b) on average ~11% of servers are inconsistent at any time.
+    mean_stale = float(np.mean(result.daily_inconsistent_server_fractions))
+    assert 0.03 < mean_stale < 0.35
+    # (d) continuous inconsistency rarely outlives two polls.
+    assert result.frac_incons_at_most_2_polls > 0.55
+    # (e) 95th-pct continuous inconsistency grows with the poll period.
+    assert result.per_interval[60.0].p95 > result.per_interval[10.0].p95
+
+
+def test_fig5_inner_cluster_cdf(run_once, s3ctx):
+    result = run_once(fig5_inner_cluster, s3ctx, min_cluster_size=8)
+    # Paper: CDF approximately linear (uniform) on [0, TTL].  With few
+    # servers per cluster the intra-cluster alpha is biased late, which
+    # shifts episodes short; the bias shrinks as clusters grow, so we
+    # assert closeness at the largest clusters plus the convergence
+    # trend toward uniformity.
+    small_clusters = fig5_inner_cluster(s3ctx, min_cluster_size=3)
+    assert result.uniform_rmse_on_ttl < 0.25
+    assert result.uniform_rmse_on_ttl < small_clusters.uniform_rmse_on_ttl
+    assert result.n > 1000
+
+
+def test_fig6_ttl_inference(run_once, s3ctx):
+    result = run_once(fig6_ttl_inference, s3ctx)
+    # Paper: recursive refinement recovers TTL = 60 s; theory RMSE is
+    # smaller at 60 s than at 80 s (0.0462 vs 0.0955).
+    assert 54.0 <= result.inference.ttl_s <= 68.0
+    assert result.rmse_at_60 < result.rmse_at_80
+
+
+def test_fig7_provider_inconsistency(run_once, s3ctx):
+    result = run_once(fig7_provider_inconsistency, s3ctx)
+    # Paper: 90.2% < 10 s, mean 3.43 s -- providers are near-fresh.
+    assert result.frac_below_10s > 0.80
+    assert result.mean_s < 8.0
+
+
+def test_fig8_distance_correlation(run_once, s3ctx):
+    result = run_once(fig8_distance, s3ctx)
+    # Paper: r = 0.11 -- propagation distance has little effect.
+    assert abs(result.pearson_r) < 0.45
+    assert all(0.0 < ratio <= 1.0 for ratio in result.band_mean_ratios)
+
+
+def test_fig9_inter_isp_increment(run_once, s3ctx):
+    result = run_once(fig9_isp, s3ctx)
+    # Paper: inter-ISP measurement exceeds intra by [3.69, 23.2] s.
+    assert float(np.mean(result.increments)) > 0.0
+    assert result.max_increment_s > 3.0
+    assert result.max_increment_s < 40.0
+
+
+def test_fig10_bandwidth_and_absence(run_once, s3ctx):
+    result = run_once(fig10_absence, s3ctx)
+    # Paper Fig 10a: responses within [0.5, 2.1] s, ~90% under 1.5 s.
+    assert result.frac_responses_below_1_5s > 0.80
+    assert result.response_time_summary.p95 <= 2.2
+    # Paper Fig 10b: most absences below 50 s.
+    assert result.frac_absences_below_50s > 0.7
+    # Paper Fig 10c: absences raise inconsistency above the baseline.
+    baseline = result.impact_by_absence_bin[0.0]
+    affected = [v for k, v in result.impact_by_absence_bin.items() if k > 0]
+    assert affected and max(affected) > baseline
+
+
+def test_fig11_no_static_tree(run_once, s3ctx):
+    result = run_once(fig11_static_tree, s3ctx)
+    # Paper: server ranks churn wildly -- no stable hierarchy.
+    assert result.mean_rank_churn > 0.25
+    # Per-cluster day means fluctuate (max noticeably above min).
+    spreads = [mx - mn for mn, mx in result.cluster_spreads.values()]
+    assert float(np.mean(spreads)) > 1.0
+
+
+def test_fig12_no_dynamic_tree(run_once, s3ctx):
+    result = run_once(fig12_dynamic_tree, s3ctx)
+    # Paper: 76.7% / 86.9% of servers have max inconsistency < TTL,
+    # contradicting any multicast tree.
+    assert min(result.daily_below_ttl_fractions) > 0.55
+    assert not result.evidence.tree_likely

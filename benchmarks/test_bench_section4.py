@@ -1,0 +1,107 @@
+"""Benchmarks regenerating every Section 4 figure (Figs. 14-20)."""
+
+from repro.experiments.section4 import (
+    fig14_unicast_inconsistency,
+    fig15_multicast_inconsistency,
+    fig16_traffic_cost,
+    fig17_cost_vs_ttl,
+    fig18_invalidation_user_ttl,
+    fig19_packet_size,
+    fig20_network_size,
+)
+
+
+def test_fig14_unicast_inconsistency(run_once, s4cfg):
+    result = run_once(fig14_unicast_inconsistency, s4cfg)
+    # Paper: server inconsistency orders Push < Invalidation < TTL, TTL
+    # mean ~ TTL/2; user-side Push ~ Invalidation < TTL.
+    assert result.server_lag_ordering() == ["push", "invalidation", "ttl"]
+    ttl_lag = result.mean_server_lag("ttl")
+    assert 0.35 * s4cfg.server_ttl_s < ttl_lag < 0.75 * s4cfg.server_ttl_s
+    assert result.mean_user_lag("push") < result.mean_user_lag("ttl")
+    assert result.mean_user_lag("invalidation") < result.mean_user_lag("ttl")
+    # users poll every 10 s, so even Push users lag by ~user_ttl/2
+    assert result.mean_user_lag("push") > 0.25 * s4cfg.user_ttl_s
+
+
+def test_fig15_multicast_inconsistency(run_once, s4cfg):
+    result = run_once(fig15_multicast_inconsistency, s4cfg)
+    # Paper: same ordering as unicast, TTL depth-amplified (layer m sees
+    # ~m times the layer-1 inconsistency).
+    assert result.server_lag_ordering() == ["push", "invalidation", "ttl"]
+    unicast = fig14_unicast_inconsistency(s4cfg)
+    assert result.mean_server_lag("ttl") > 2.0 * unicast.mean_server_lag("ttl")
+    # Push stays fast even through the tree.
+    assert result.mean_server_lag("push") < 2.0
+
+
+def test_fig16_traffic_cost(run_once, s4cfg):
+    result = run_once(fig16_traffic_cost, s4cfg)
+    # Paper: the proximity-aware multicast tree saves traffic for every
+    # method, and cost orders Push < Invalidation < TTL.
+    for method in ("push", "invalidation", "ttl"):
+        assert result.multicast_saving(method) > 0
+        assert (
+            result.cost(method, "multicast") < 0.6 * result.cost(method, "unicast")
+        )
+    for infrastructure in ("unicast", "multicast"):
+        assert (
+            result.cost("push", infrastructure)
+            < result.cost("invalidation", infrastructure)
+            < result.cost("ttl", infrastructure)
+        )
+
+
+def test_fig17_cost_vs_ttl(run_once, sweep_cfg):
+    result = run_once(fig17_cost_vs_ttl, sweep_cfg, ttls_s=(10.0, 30.0, 60.0))
+    # Paper: consistency-maintenance cost falls as the TTL grows, on
+    # both infrastructures.
+    for infrastructure in ("unicast", "multicast"):
+        costs = result[infrastructure]
+        assert costs[10.0] > costs[30.0] > costs[60.0]
+
+
+def test_fig18_invalidation_user_ttl(run_once, sweep_cfg):
+    result = run_once(
+        fig18_invalidation_user_ttl, sweep_cfg, user_ttls_s=(10.0, 60.0, 120.0)
+    )
+    # Paper: server inconsistency grows and traffic cost falls as the
+    # end-user TTL grows, on both infrastructures.
+    for infrastructure in ("unicast", "multicast"):
+        points = result[infrastructure]
+        lags = [point.server_lag.median for point in points]
+        costs = [point.cost_km_kb for point in points]
+        assert lags[0] < lags[-1]
+        assert costs[0] > costs[-1]
+
+
+def test_fig19_packet_size(run_once, sweep_cfg):
+    result = run_once(fig19_packet_size, sweep_cfg, sizes_kb=(1.0, 500.0))
+    # Paper: inconsistency grows with packet size; growth rate orders
+    # Push > Invalidation > TTL; unicast grows faster than multicast
+    # for Push (fan-out N vs fan-out 2).
+    def growth(infra, method):
+        per = result[infra][method]
+        return per[500.0] - per[1.0]
+
+    assert growth("unicast", "push") > 0.5
+    assert growth("unicast", "push") > growth("unicast", "invalidation")
+    assert growth("unicast", "push") > growth("unicast", "ttl")
+    assert growth("unicast", "push") > growth("multicast", "push")
+
+
+def test_fig20_network_size(run_once, sweep_cfg):
+    n_small = sweep_cfg.n_servers
+    sizes = (n_small, 3 * n_small, 5 * n_small)
+    result = run_once(fig20_network_size, sweep_cfg, n_servers=sizes)
+    # Paper (unicast): TTL stays flat; Push grows with N.
+    push_uni = result["unicast"]["push"]
+    ttl_uni = result["unicast"]["ttl"]
+    assert push_uni[sizes[-1]] > 2.0 * push_uni[sizes[0]]
+    assert ttl_uni[sizes[-1]] < 1.3 * ttl_uni[sizes[0]]
+    # Paper (multicast): TTL grows fastest -- tree depth amplification.
+    ttl_multi = result["multicast"]["ttl"]
+    assert ttl_multi[sizes[-1]] > 1.5 * ttl_multi[sizes[0]]
+    growth_ttl = ttl_multi[sizes[-1]] - ttl_multi[sizes[0]]
+    growth_push = result["multicast"]["push"][sizes[-1]] - result["multicast"]["push"][sizes[0]]
+    assert growth_ttl > growth_push

@@ -1,0 +1,65 @@
+"""Benchmarks regenerating every Section 5 figure (Figs. 22-24)."""
+
+from repro.experiments.section5 import (
+    fig22a_update_messages,
+    fig22b_provider_messages,
+    fig23_network_load,
+    fig24_inconsistency_observations,
+    section5_config,
+)
+
+
+def test_fig22a_update_messages(run_once, s5cfg):
+    result = run_once(fig22a_update_messages, s5cfg, user_ttls_s=(10.0, 60.0))
+    counts = {system: result.at(system, 10.0) for system in result.counts}
+    # Paper ordering: Push > Invalidation > Hybrid ~ TTL > HAT > Self.
+    assert counts["push"] >= counts["invalidation"]
+    assert counts["invalidation"] > counts["ttl"]
+    assert counts["self"] < counts["ttl"]
+    assert counts["self"] <= counts["hat"]
+    # Hybrid tracks TTL (same method for most servers, plus supernode
+    # pushes); HAT tracks Self the same way.
+    assert counts["hybrid"] < counts["invalidation"]
+    assert counts["hat"] < counts["hybrid"]
+    # Paper: Invalidation's counts fall as the end-user TTL grows
+    # (fewer visits -> more skipped updates).
+    assert result.at("invalidation", 60.0) <= result.at("invalidation", 10.0)
+
+
+def test_fig22b_provider_messages(run_once, s5cfg):
+    result = run_once(fig22b_provider_messages, s5cfg, server_ttls_s=(10.0, 60.0))
+    # Paper: the provider's own update load is lightest for Hybrid/HAT
+    # (it feeds only its tree children).
+    for system in ("push", "invalidation", "ttl", "self"):
+        assert result["hybrid"][60.0] < result[system][60.0]
+        assert result["hat"][60.0] < result[system][60.0]
+    # Paper: TTL/Self provider load grows as the server TTL shrinks.
+    assert result["ttl"][10.0] > result["ttl"][60.0]
+    assert result["self"][10.0] > result["self"][60.0]
+
+
+def test_fig23_network_load(run_once, s5cfg):
+    result = run_once(fig23_network_load, s5cfg)
+    # Paper: HAT generates the lightest total network load; pull-based
+    # methods pair each response with a request (light ~ update counts).
+    assert result.lightest_total() == "hat"
+    assert result.total_load_km("hat") < result.total_load_km("ttl")
+    assert result.total_load_km("hat") < result.total_load_km("push")
+    assert result.total_load_km("hat") < result.total_load_km("self")
+    # Hybrid saves update load vs plain TTL through locality.
+    assert result.update_load_km["hybrid"] < result.update_load_km["ttl"]
+
+
+def test_fig24_inconsistency_observations(run_once, s5cfg):
+    result = run_once(
+        fig24_inconsistency_observations, s5cfg, user_ttls_s=(10.0, 60.0)
+    )
+    at10 = {system: result[system][10.0] for system in result}
+    # Paper: TTL ~ Hybrid > HAT > Self > Push ~ Invalidation ~ 0.
+    assert at10["push"] < 0.01
+    assert at10["invalidation"] < 0.01
+    assert at10["self"] < at10["ttl"]
+    assert at10["hat"] <= at10["hybrid"]
+    assert at10["ttl"] > 0.05
+    # Paper: TTL-family curves fall as the end-user TTL grows.
+    assert result["ttl"][60.0] < result["ttl"][10.0]

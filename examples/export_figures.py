@@ -1,0 +1,60 @@
+"""Export figure data as CSV files for external plotting.
+
+Run:  python examples/export_figures.py [--out DIR] [--scale small|medium]
+
+Writes one CSV per exportable figure (inconsistency CDFs, the TTL
+deviation curve, per-server lag curves, cost/size sweeps, Section 5
+message counts and stale-observation fractions) so the paper's plots
+can be redrawn with any tool.
+"""
+
+import argparse
+import os
+
+from repro.experiments.figures import export_all
+from repro.experiments.report import ReportScale
+
+
+def micro_scale(seed: int) -> ReportScale:
+    """A seconds-fast scale for smoke runs and CI."""
+    from repro.experiments.config import smoke_scale
+    from repro.experiments.section5 import section5_config
+    from repro.trace.synthesize import SynthesisConfig
+
+    return ReportScale(
+        section3=SynthesisConfig(
+            n_servers=40,
+            n_days=2,
+            session_length_s=3000.0,
+            updates_per_day_low=12,
+            updates_per_day_high=50,
+        ),
+        section4=smoke_scale(users_per_server=3, seed=seed),
+        section5=section5_config(smoke_scale(seed=seed)),
+        sweep=smoke_scale(n_updates=10, game_duration_s=300.0, seed=seed),
+        n_users=16,
+        label="micro",
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="figure_data")
+    parser.add_argument("--scale", choices=("micro", "small", "medium"), default="small")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    if args.scale == "micro":
+        scale = micro_scale(args.seed)
+    elif args.scale == "small":
+        scale = ReportScale.small(args.seed)
+    else:
+        scale = ReportScale.medium(args.seed)
+    written = export_all(args.out, scale)
+    print("wrote %d CSV files to %s:" % (len(written), os.path.abspath(args.out)))
+    for path in written:
+        print("  %s" % os.path.basename(path))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,122 @@
+"""Failure injection: how each dissemination design degrades.
+
+The paper's Section 1 argument against multicast trees is that "node
+failures break the structure connectivity and lead to unsuccessful
+update propagation".  This example kills a fraction of the servers
+mid-game under three designs and reports how stale the survivors get:
+
+- unicast TTL (the measured CDN's design -- failures only hurt the
+  failed node);
+- Push over an *unrepaired* binary multicast tree (subtrees starve);
+- the same tree with repair (orphans re-attach, at maintenance cost).
+
+Run:  python examples/hat_failure_injection.py
+"""
+
+from repro.cdn import LiveContent, ProviderActor, ServerActor, schedule_absence
+from repro.consistency import MulticastTreeInfrastructure, PushPolicy, TTLPolicy, UnicastInfrastructure
+from repro.metrics.consistency import mean_update_lag
+from repro.network import MessageKind, NetworkFabric, TopologyBuilder
+from repro.sim import Environment, StreamRegistry
+
+
+N_SERVERS = 40
+KILL_FRACTION = 0.15
+KILL_AT = 300.0
+HORIZON = 1500.0
+
+
+def build(seed=5):
+    env = Environment()
+    streams = StreamRegistry(seed)
+    topology = TopologyBuilder(env, streams).build(n_servers=N_SERVERS, users_per_server=0)
+    fabric = NetworkFabric(env, streams=streams)
+    content = LiveContent("game", update_times=[60.0 + 20.0 * i for i in range(60)])
+    provider = ProviderActor(env, topology.provider, fabric, content)
+    return env, streams, topology, fabric, content, provider
+
+
+def pick_victims(streams, servers):
+    stream = streams.stream("failures")
+    count = max(1, int(KILL_FRACTION * len(servers)))
+    return stream.sample(servers, count)
+
+
+def survivors_staleness(content, servers, victims, horizon):
+    victims = set(victims)
+    survivors = [s for s in servers if s not in victims]
+    lags = [
+        mean_update_lag(content, s.apply_log(), window=(KILL_AT, horizon), censor_at=horizon)
+        for s in survivors
+    ]
+    return sum(lags) / len(lags)
+
+
+def scenario_unicast_ttl():
+    env, streams, topology, fabric, content, provider = build()
+    servers = [
+        ServerActor(env, node, fabric, content,
+                    policy=TTLPolicy(30.0, stream=streams.stream("phase")))
+        for node in topology.servers
+    ]
+    UnicastInfrastructure().wire(provider, servers)
+    victims = pick_victims(streams, servers)
+    for victim in victims:
+        schedule_absence(env, victim.node, start=KILL_AT, duration=HORIZON)
+    for server in servers:
+        server.start()
+    env.run(until=HORIZON)
+    return survivors_staleness(content, servers, victims, HORIZON), 0
+
+
+def scenario_tree(repair):
+    env, streams, topology, fabric, content, provider = build()
+    servers = [
+        ServerActor(env, node, fabric, content, policy=PushPolicy())
+        for node in topology.servers
+    ]
+    tree = MulticastTreeInfrastructure(fabric, arity=2)
+    tree.wire(provider, servers)
+    provider.use_push()
+    victims = pick_victims(streams, servers)
+    for victim in victims:
+        schedule_absence(env, victim.node, start=KILL_AT, duration=HORIZON)
+
+    if repair:
+        def repairer(env):
+            yield env.timeout(KILL_AT + 30.0)  # detection delay
+            for victim in victims:
+                tree.repair(victim)
+
+        env.process(repairer(env))
+
+    for server in servers:
+        server.start()
+    env.run(until=HORIZON)
+    maintenance = fabric.ledger.kind_totals(MessageKind.TREE_MAINTENANCE).count
+    return survivors_staleness(content, servers, victims, HORIZON), maintenance
+
+
+def main() -> None:
+    print(
+        "Killing %.0f%% of %d servers at t=%.0f s; measuring surviving "
+        "servers' staleness afterwards.\n" % (100 * KILL_FRACTION, N_SERVERS, KILL_AT)
+    )
+    rows = [
+        ("unicast + TTL (the CDN's design)",) + scenario_unicast_ttl(),
+        ("push tree, no repair",) + scenario_tree(repair=False),
+        ("push tree, with repair",) + scenario_tree(repair=True),
+    ]
+    header = "%-36s %22s %18s" % ("design", "survivor staleness (s)", "repair msgs")
+    print(header)
+    print("-" * len(header))
+    for name, staleness, maintenance in rows:
+        print("%-36s %22.2f %18d" % (name, staleness, maintenance))
+    print()
+    print("Unicast isolates failures; an unrepaired tree strands whole")
+    print("subtrees (exactly the paper's scalability-vs-robustness trade);")
+    print("repair restores freshness at a small maintenance cost.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""Reproduce the paper's Section 3 measurement study on a synthetic crawl.
+
+Synthesizes a multi-day crawl of live-game statistics pages across a
+few hundred CDN servers (the real trace is unavailable), then runs the
+paper's estimators:
+
+- the inconsistency-length CDF (Fig. 3),
+- TTL inference by recursive refinement (Fig. 6),
+- the cause breakdown: provider staleness, distance, inter-ISP transit,
+  absences (Figs. 7-10),
+- the multicast-tree existence tests (Figs. 11-12).
+
+Run:  python examples/live_game_measurement.py [--servers N] [--days D]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.metrics import Cdf
+from repro.trace import (
+    SynthesisConfig,
+    TraceSynthesizer,
+    all_inconsistencies,
+    consistency_vs_distance,
+    infer_ttl,
+    isp_inconsistency_analysis,
+    observed_absence_lengths,
+    provider_inconsistencies,
+    theory_rmse,
+    tree_existence_analysis,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--servers", type=int, default=200)
+    parser.add_argument("--days", type=int, default=6)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--save", metavar="PATH", help="save the trace as JSON")
+    args = parser.parse_args()
+
+    config = SynthesisConfig(n_servers=args.servers, n_days=args.days)
+    synthesizer = TraceSynthesizer(config, master_seed=args.seed)
+    print("Synthesizing %d days x %d servers of crawl data..." % (args.days, args.servers))
+    trace = synthesizer.synthesize()
+    print("  %d poll records" % trace.total_polls())
+    if args.save:
+        trace.save(args.save)
+        print("  saved to %s" % args.save)
+
+    print()
+    print("== Inconsistency of CDN-served content (Fig. 3) ==")
+    lengths = all_inconsistencies(trace)
+    cdf = Cdf(lengths)
+    print("  episodes: %d   mean: %.1f s" % (len(cdf), lengths.mean()))
+    print("  < 10 s: %.1f%%   (paper: 10.1%%)" % (100 * cdf.at(10.0)))
+    print("  > 50 s: %.1f%%   (paper: 20.3%%)" % (100 * cdf.fraction_above(50.0)))
+
+    print()
+    print("== TTL inference (Fig. 6) ==")
+    inference = infer_ttl(lengths)
+    print("  inferred TTL: %.0f s  (planted: %.0f s, paper: 60 s)" % (
+        inference.ttl_s, trace.ttl_s))
+    print("  theory RMSE @60 s: %.4f   @80 s: %.4f  (paper: 0.046 vs 0.096)" % (
+        theory_rmse(lengths, 60.0), theory_rmse(lengths, 80.0)))
+
+    print()
+    print("== Cause breakdown (Figs. 7-10) ==")
+    provider = provider_inconsistencies(trace)
+    print("  provider inconsistency: mean %.2f s, %.0f%% < 10 s (paper: 3.43 s, 90%%)" % (
+        provider.mean(), 100 * float(np.mean(provider < 10.0))))
+    distance = consistency_vs_distance(trace)
+    print("  distance correlation r = %.3f (paper: 0.11 -- negligible)" % distance.pearson_r)
+    isp = isp_inconsistency_analysis(trace, min_cluster_size=4)
+    increments = [r.increment_mean_s for r in isp]
+    print("  inter-ISP increment: +[%.1f, %.1f] s over %d ISP clusters (paper: +[3.7, 23.2] s)" % (
+        min(increments), max(increments), len(isp)))
+    absences = observed_absence_lengths(trace)
+    if absences.size:
+        print("  absences observed: %d, %.0f%% < 50 s (paper: 93%%)" % (
+            absences.size, 100 * float(np.mean(absences < 50.0))))
+
+    print()
+    print("== Update-infrastructure deduction (Figs. 11-12) ==")
+    evidence = tree_existence_analysis(trace)
+    print("  " + evidence.summary())
+    print("  => the CDN updates replicas by direct unicast TTL polling,")
+    print("     exactly what the synthesizer planted.")
+
+
+if __name__ == "__main__":
+    main()

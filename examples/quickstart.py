@@ -1,0 +1,50 @@
+"""Quickstart: simulate a small CDN and compare update methods.
+
+Builds a 30-server CDN (provider in Atlanta, servers across the US /
+Europe / Asia, two end-users per server), replays a live game's update
+schedule, and compares TTL polling, Push, Invalidation and the paper's
+HAT proposal on freshness and network cost.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.experiments import build_system, ci_scale
+from repro.experiments.section5 import section5_config
+
+
+def main() -> None:
+    # Section 5 settings: 60 s content-server TTL, 10 s end-user polls.
+    config = section5_config(ci_scale(seed=42))
+
+    print("Simulating %d servers, %d updates over %.0f s of game time..." % (
+        config.n_servers, config.n_updates, config.game_duration_s))
+    print()
+    header = "%-14s %14s %14s %16s %16s" % (
+        "system", "server lag (s)", "user lag (s)", "update msgs", "provider msgs"
+    )
+    print(header)
+    print("-" * len(header))
+
+    for system in ("push", "invalidation", "ttl", "self", "hybrid", "hat"):
+        metrics = build_system(config, system).run()
+        print("%-14s %14.2f %14.2f %16d %16d" % (
+            system,
+            metrics.mean_server_lag,
+            metrics.mean_user_lag,
+            metrics.response_messages,
+            metrics.provider_response_messages,
+        ))
+
+    print()
+    print("Reading the table (the paper's Section 5 findings):")
+    print(" - Push keeps replicas freshest but floods every replica on")
+    print("   every update, all from the provider's uplink.")
+    print(" - TTL bounds staleness by ~TTL/2 and spreads load, but polls")
+    print("   even when nothing changed.")
+    print(" - HAT pushes to a few supernodes over a proximity tree and")
+    print("   lets nearby servers poll them self-adaptively: near-TTL")
+    print("   freshness at a fraction of the provider load.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Fleet staleness over time: watch the play/break phase structure.
+
+Replays a live game (bursty updates during play, silent breaks) and
+renders an ASCII timeline of the fleet's mean staleness under TTL
+polling vs HAT.  Staleness saw-tooths during play (bounded by the TTL)
+and collapses to zero in the breaks; HAT's supernode freshness keeps
+the envelope lower.
+
+Run:  python examples/staleness_timeline.py
+"""
+
+from repro.experiments import build_system, ci_scale
+from repro.experiments.section5 import section5_config
+from repro.metrics import fleet_staleness_series
+from repro.trace.workload import LiveGameWorkload
+
+BARS = " .:-=+*#%@"
+
+
+def sparkline(values, width=72, cap=None):
+    if not values:
+        return ""
+    step = max(1, len(values) // width)
+    sampled = [max(values[i : i + step]) for i in range(0, len(values), step)]
+    top = cap if cap is not None else (max(sampled) or 1.0)
+    chars = []
+    for value in sampled:
+        level = min(len(BARS) - 1, int(round(value / top * (len(BARS) - 1))))
+        chars.append(BARS[level])
+    return "".join(chars)
+
+
+def main() -> None:
+    config = section5_config(ci_scale(seed=3, n_updates=80, game_duration_s=2400.0))
+    horizon = config.run_horizon_s
+
+    series = {}
+    for system in ("ttl", "hat", "push"):
+        deployment = build_system(config, system)
+        deployment.run()
+        logs = [server.apply_log() for server in deployment.servers]
+        series[system] = fleet_staleness_series(
+            deployment.content, logs, horizon_s=horizon, step_s=10.0
+        )
+
+    workload = LiveGameWorkload(n_updates=config.n_updates, duration_s=config.game_duration_s)
+    phase_row = []
+    for t in series["ttl"].times:
+        in_play = not workload.is_break(max(0.0, t - config.update_start_s))
+        within = config.update_start_s <= t <= config.update_start_s + config.game_duration_s
+        phase_row.append("~" if (in_play and within) else " ")
+    step = max(1, len(phase_row) // 72)
+    phases = "".join(
+        "~" if "~" in "".join(phase_row[i : i + step]) else " "
+        for i in range(0, len(phase_row), step)
+    )
+
+    cap = max(series["ttl"].values) or 1.0
+    print("fleet mean staleness over one game (left = t0, right = t%.0fs)" % horizon)
+    print()
+    print("  play: [%s]" % phases)
+    for system in ("ttl", "hat", "push"):
+        s = series[system]
+        print("  %-5s [%s] mean=%5.1fs max=%5.1fs >30s for %4.1f%% of the run" % (
+            system, sparkline(list(s.values), cap=cap), s.mean(), s.max(),
+            100.0 * s.over(30.0),
+        ))
+    print()
+    print("Staleness saw-tooths while the game is live (bounded by the")
+    print("60 s TTL), vanishes in the breaks, and HAT's push-fed supernodes")
+    print("keep the envelope below plain TTL; Push stays near zero always.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setup shim: enables legacy editable installs in the offline environment
+(no `wheel` package is available, so PEP 660 editable installs fail)."""
+from setuptools import setup
+
+setup()

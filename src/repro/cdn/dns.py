@@ -1,0 +1,82 @@
+"""DNS-based server assignment.
+
+Reproduces the redirection behaviour of Section 3.3: the local DNS
+server caches a content server's IP for a short TTL; when it expires the
+authoritative DNS reassigns a (possibly different) nearby server with
+load balancing, so 13-17% of a user's visits land on a different server
+than the previous visit -- which is how users come to observe
+inconsistency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..network.node import NetworkNode
+from ..sim.rng import RandomStream
+
+__all__ = ["DnsDirectory"]
+
+
+@dataclass
+class _CachedAssignment:
+    server: NetworkNode
+    expires_at: float
+
+
+class DnsDirectory:
+    """Local-DNS cache in front of an authoritative, load-balancing DNS."""
+
+    def __init__(
+        self,
+        servers: Sequence[NetworkNode],
+        stream: RandomStream,
+        dns_ttl_s: float = 60.0,
+        candidates: int = 4,
+    ) -> None:
+        if not servers:
+            raise ValueError("need at least one server")
+        if candidates <= 0:
+            raise ValueError("candidates must be positive")
+        self.servers = list(servers)
+        self.stream = stream
+        self.dns_ttl_s = dns_ttl_s
+        self.candidates = min(candidates, len(self.servers))
+        self._cache: Dict[str, _CachedAssignment] = {}
+        self._nearest: Dict[str, List[NetworkNode]] = {}
+        #: Counters for measurement: resolutions answered from cache vs
+        #: re-assigned by the authoritative DNS.
+        self.cache_hits = 0
+        self.authoritative_queries = 0
+
+    # ------------------------------------------------------------------
+    def _candidate_servers(self, user: NetworkNode) -> List[NetworkNode]:
+        cached = self._nearest.get(user.node_id)
+        if cached is None:
+            ranked = sorted(self.servers, key=user.distance_km)
+            cached = ranked[: self.candidates]
+            self._nearest[user.node_id] = cached
+        return cached
+
+    def resolve(self, user: NetworkNode, now: float) -> NetworkNode:
+        """The server *user* should contact at time *now*."""
+        assignment = self._cache.get(user.node_id)
+        if assignment is not None and now < assignment.expires_at and assignment.server.is_up:
+            self.cache_hits += 1
+            return assignment.server
+
+        self.authoritative_queries += 1
+        candidates = [s for s in self._candidate_servers(user) if s.is_up]
+        if not candidates:
+            candidates = [s for s in self.servers if s.is_up] or self.servers
+        # Authoritative DNS balances load: uniform choice among the
+        # nearby candidates (paper: "with load-balancing consideration").
+        server = self.stream.choice(candidates)
+        ttl = self.stream.uniform(0.5 * self.dns_ttl_s, 1.5 * self.dns_ttl_s)
+        self._cache[user.node_id] = _CachedAssignment(server, now + ttl)
+        return server
+
+    def expire(self, user: NetworkNode) -> None:
+        """Drop the cached assignment (e.g. after a failed request)."""
+        self._cache.pop(user.node_id, None)

@@ -1,0 +1,183 @@
+"""Command-line interface.
+
+Four subcommands mirroring the paper's workflow::
+
+    python -m repro measure    # Section 3: synthesize + analyse a crawl
+    python -m repro evaluate   # Section 4: one method on one infrastructure
+    python -m repro advise     # guidance: recommend a method from rates
+    python -m repro report     # regenerate the EXPERIMENTS.md report
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Measuring and Evaluating Live Content "
+        "Consistency in a Large-Scale CDN' (ICDCS'14 / TPDS'15)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    measure = sub.add_parser(
+        "measure", help="synthesize a CDN crawl and run the Section 3 analyses"
+    )
+    measure.add_argument("--servers", type=int, default=150)
+    measure.add_argument("--days", type=int, default=5)
+    measure.add_argument("--seed", type=int, default=0)
+    measure.add_argument("--save", metavar="PATH", help="save the trace as JSON")
+
+    evaluate = sub.add_parser(
+        "evaluate", help="run one update method on one infrastructure (Section 4)"
+    )
+    evaluate.add_argument(
+        "--method",
+        default="ttl",
+        choices=("push", "invalidation", "ttl", "self-adaptive", "adaptive-ttl", "dynamic"),
+    )
+    evaluate.add_argument(
+        "--infrastructure", default="unicast", choices=("unicast", "multicast", "broadcast")
+    )
+    evaluate.add_argument("--servers", type=int, default=60)
+    evaluate.add_argument("--users-per-server", type=int, default=3)
+    evaluate.add_argument("--updates", type=int, default=100)
+    evaluate.add_argument("--duration", type=float, default=2920.0)
+    evaluate.add_argument("--server-ttl", type=float, default=10.0)
+    evaluate.add_argument("--seed", type=int, default=0)
+
+    advise = sub.add_parser(
+        "advise", help="recommend an update method from workload rates"
+    )
+    advise.add_argument("--update-rate", type=float, required=True,
+                        help="updates per second at the origin")
+    advise.add_argument("--visit-rate", type=float, required=True,
+                        help="visits per second per edge server")
+    advise.add_argument("--servers", type=int, required=True)
+    advise.add_argument("--tolerance", type=float, required=True,
+                        help="staleness tolerance in seconds")
+    advise.add_argument("--silence-fraction", type=float, default=0.0)
+    advise.add_argument("--update-size-kb", type=float, default=10.0)
+
+    report = sub.add_parser("report", help="regenerate the EXPERIMENTS.md report")
+    report.add_argument("--scale", choices=("small", "medium"), default="small")
+    report.add_argument("--seed", type=int, default=0)
+    report.add_argument("--out", default="EXPERIMENTS.md")
+
+    return parser
+
+
+def _cmd_measure(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .metrics import Cdf
+    from .trace import (
+        SynthesisConfig,
+        TraceSynthesizer,
+        all_inconsistencies,
+        infer_ttl,
+        provider_inconsistencies,
+        theory_rmse,
+        tree_existence_analysis,
+    )
+
+    config = SynthesisConfig(n_servers=args.servers, n_days=args.days)
+    trace = TraceSynthesizer(config, master_seed=args.seed).synthesize()
+    if args.save:
+        trace.save(args.save)
+    lengths = all_inconsistencies(trace)
+    cdf = Cdf(lengths)
+    inference = infer_ttl(lengths)
+    provider = provider_inconsistencies(trace)
+    evidence = tree_existence_analysis(trace)
+    print("trace: %d servers x %d days, %d polls" % (
+        trace.n_servers, trace.n_days, trace.total_polls()))
+    print("inconsistency: mean %.1f s, %.1f%% < 10 s, %.1f%% > 50 s" % (
+        lengths.mean(), 100 * cdf.at(10.0), 100 * cdf.fraction_above(50.0)))
+    print("inferred TTL: %.0f s (rmse@60=%.3f, rmse@80=%.3f)" % (
+        inference.ttl_s, theory_rmse(lengths, 60.0), theory_rmse(lengths, 80.0)))
+    print("provider inconsistency: mean %.2f s (%.0f%% < 10 s)" % (
+        provider.mean(), 100 * float(np.mean(provider < 10.0))))
+    print("infrastructure: %s" % evidence.summary())
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from .experiments import TestbedConfig, build_deployment
+
+    config = TestbedConfig(
+        n_servers=args.servers,
+        users_per_server=args.users_per_server,
+        n_updates=args.updates,
+        game_duration_s=args.duration,
+        server_ttl_s=args.server_ttl,
+        seed=args.seed,
+    )
+    metrics = build_deployment(config, args.method, args.infrastructure).run()
+    print("deployment: %s" % metrics.name)
+    print("mean server inconsistency: %.2f s" % metrics.mean_server_lag)
+    print("mean end-user inconsistency: %.2f s" % metrics.mean_user_lag)
+    print("traffic cost: %.3e km*KB" % metrics.cost_km_kb)
+    print("messages: %d update bodies, %d light" % (
+        metrics.update_messages, metrics.light_messages))
+    print("provider sent: %d update/response messages" % (
+        metrics.provider_response_messages))
+    return 0
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    from .core import MethodAdvisor, WorkloadProfile
+
+    profile = WorkloadProfile(
+        update_rate_per_s=args.update_rate,
+        visit_rate_per_s=args.visit_rate,
+        n_servers=args.servers,
+        silence_fraction=args.silence_fraction,
+    )
+    advisor = MethodAdvisor(update_size_kb=args.update_size_kb)
+    rec = advisor.recommend(profile, staleness_tolerance_s=args.tolerance)
+    print("recommendation: %s on %s" % (rec.method, rec.infrastructure))
+    if rec.ttl_s is not None:
+        print("ttl: %.0f s" % rec.ttl_s)
+    print("expected replica staleness: %.1f s" % rec.expected_staleness_s)
+    print("expected load: %.0f messages/h, %.0f KB/h" % (
+        rec.expected_messages_per_hour, rec.expected_kb_per_hour))
+    print("reason: %s" % rec.reason)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .experiments.report import ReportScale, generate_report
+
+    scale = (
+        ReportScale.small(args.seed)
+        if args.scale == "small"
+        else ReportScale.medium(args.seed)
+    )
+    markdown = generate_report(scale, log=sys.stderr)
+    with open(args.out, "w") as handle:
+        handle.write(markdown)
+    print("wrote %s" % args.out)
+    return 0
+
+
+_COMMANDS = {
+    "measure": _cmd_measure,
+    "evaluate": _cmd_evaluate,
+    "advise": _cmd_advise,
+    "report": _cmd_report,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

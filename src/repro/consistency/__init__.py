@@ -1,0 +1,39 @@
+"""Update methods (TTL / Push / Invalidation / self-adaptive) and update
+infrastructures (unicast / multicast tree / broadcast) plus the
+Hilbert-curve clustering used by the hybrid infrastructure."""
+
+from .adaptive import AdaptiveTTLPolicy, SelfAdaptivePolicy
+from .base import Infrastructure, ServerPolicy
+from .broadcast import BroadcastInfrastructure
+from .hilbert import (
+    DEFAULT_ORDER,
+    cluster_by_hilbert,
+    hilbert_number,
+    hilbert_to_xy,
+    xy_to_hilbert,
+)
+from .invalidation import InvalidationPolicy
+from .maintenance import TreeMaintainer
+from .multicast import MulticastTreeInfrastructure
+from .push import PushPolicy
+from .ttl import TTLPolicy
+from .unicast import UnicastInfrastructure
+
+__all__ = [
+    "ServerPolicy",
+    "Infrastructure",
+    "TTLPolicy",
+    "PushPolicy",
+    "InvalidationPolicy",
+    "SelfAdaptivePolicy",
+    "AdaptiveTTLPolicy",
+    "UnicastInfrastructure",
+    "MulticastTreeInfrastructure",
+    "TreeMaintainer",
+    "BroadcastInfrastructure",
+    "xy_to_hilbert",
+    "hilbert_to_xy",
+    "hilbert_number",
+    "cluster_by_hilbert",
+    "DEFAULT_ORDER",
+]

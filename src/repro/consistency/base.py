@@ -1,0 +1,96 @@
+"""Interfaces for update methods and update infrastructures.
+
+The paper factors consistency maintenance into two orthogonal choices:
+
+- the *update method* (how a replica learns about updates): TTL, Push,
+  server-based Invalidation, or the proposed self-adaptive switch --
+  implemented as :class:`ServerPolicy` subclasses attached to servers,
+  plus a provider-side hook wired by the experiment;
+- the *update infrastructure* (who talks to whom): unicast star,
+  broadcast, or a proximity-aware multicast tree -- implemented as
+  :class:`Infrastructure` subclasses that wire ``upstream`` / ``children``
+  links between actors.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Iterable, List, Optional, TYPE_CHECKING
+
+from ..network.message import Message
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cdn.provider import ProviderActor
+    from ..cdn.server import ServerActor
+
+__all__ = ["ServerPolicy", "Infrastructure"]
+
+
+def _noop() -> Generator:
+    """An empty generator (for default no-op ``yield from`` hooks)."""
+    return
+    yield  # pragma: no cover - makes this a generator function
+
+
+class ServerPolicy:
+    """Server-side half of an update method.
+
+    Subclasses override the hooks they need; the defaults describe a
+    purely passive replica (never refreshes, ignores notices).
+    """
+
+    #: Human-readable method name ("ttl", "push", ...).
+    method_name: str = "base"
+
+    def __init__(self) -> None:
+        self.server: Optional["ServerActor"] = None
+
+    def bind(self, server: "ServerActor") -> None:
+        """Attach the policy to its server (called by the server ctor)."""
+        if self.server is not None:
+            raise RuntimeError("policy already bound to %r" % (self.server,))
+        self.server = server
+
+    # ------------------------------------------------------------------
+    def processes(self) -> Iterable[Generator]:
+        """Background processes to start with the server (e.g. poll loops)."""
+        return []
+
+    def on_push(self, message: Message) -> None:
+        """A pushed content body arrived."""
+        # Unexpected for pull-only methods, but harmless: applying a
+        # fresher body can never hurt consistency.
+        self.server.apply_version(message.version)
+
+    def on_invalidate(self, message: Message) -> None:
+        """An invalidation notice arrived."""
+        self.server.mark_invalidated(message.version)
+
+    def ensure_fresh(self) -> Generator:
+        """Bring the cache to a servable state before answering.
+
+        Used both on the user-serving path and when answering a child's
+        poll/fetch (so staleness does not cascade down a tree).
+        """
+        return _noop()
+
+    def serve(self, message: Message) -> Generator:
+        """Produce the version to serve for a user request.
+
+        A generator (may wait on upstream fetches); returns the version.
+        """
+        yield from self.ensure_fresh()
+        return self.server.cached_version
+
+
+class Infrastructure:
+    """Wires the update-dissemination links between actors."""
+
+    name: str = "base"
+
+    def wire(self, provider: "ProviderActor", servers: List["ServerActor"]) -> None:
+        """Set ``upstream`` / ``children`` on the given actors."""
+        raise NotImplementedError
+
+    def depth_of(self, server: "ServerActor") -> int:
+        """Distance (in overlay hops) from the provider to *server*."""
+        raise NotImplementedError

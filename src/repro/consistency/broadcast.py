@@ -1,0 +1,94 @@
+"""Broadcast (flooding) infrastructure.
+
+The paper discusses broadcast ([10]) as the third dissemination
+architecture but excludes it from the Section 4 evaluation because it
+"fails to be sufficiently scalable ... due to a large number of
+redundant messages".  We implement it anyway so the redundancy claim can
+be measured (see the ablation benchmarks): the provider seeds every
+server it knows, and each server floods fresh bodies/notices to its
+k nearest neighbours; duplicate deliveries are suppressed by the
+version check but still traverse (and load) the network.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..network.link import NetworkFabric
+from .base import Infrastructure
+
+__all__ = ["BroadcastInfrastructure"]
+
+
+class BroadcastInfrastructure(Infrastructure):
+    """Provider seeds a subset; servers flood to k nearest neighbours."""
+
+    name = "broadcast"
+
+    def __init__(self, fabric: NetworkFabric, neighbours: int = 4, seeds: int = 1) -> None:
+        if neighbours < 1:
+            raise ValueError("neighbours must be >= 1")
+        if seeds < 1:
+            raise ValueError("seeds must be >= 1")
+        self.fabric = fabric
+        self.neighbours = neighbours
+        self.seeds = seeds
+        self._depths: Dict[str, int] = {}
+
+    def wire(self, provider, servers: List) -> None:
+        if not servers:
+            provider.children = []
+            return
+        # Provider seeds the `seeds` servers nearest to it.
+        ordered = sorted(
+            servers, key=lambda s: self.fabric.min_latency_s(provider.node, s.node)
+        )
+        seeded = ordered[: self.seeds]
+        provider.children = [s.node for s in seeded]
+
+        # Every server floods to its k nearest neighbours (a geometric
+        # graph on latency), augmented with a latency-sorted ring so the
+        # flood graph is always strongly connected even when geographic
+        # clusters sit far apart.
+        ring = {
+            ordered[i].node.node_id: ordered[(i + 1) % len(ordered)]
+            for i in range(len(ordered))
+        }
+        for server in servers:
+            others = sorted(
+                (s for s in servers if s is not server),
+                key=lambda s: self.fabric.min_latency_s(server.node, s.node),
+            )
+            neighbours = others[: self.neighbours]
+            successor = ring[server.node.node_id]
+            if successor is not server and successor not in neighbours:
+                neighbours.append(successor)
+            server.children = [s.node for s in neighbours]
+            server.upstream = provider.node  # polls/fetches still go to origin
+
+        self._compute_depths(provider, servers, seeded)
+
+    def _compute_depths(self, provider, servers: List, seeded: List) -> None:
+        """BFS hop counts through the flooding graph (for diagnostics)."""
+        by_node_id = {s.node.node_id: s for s in servers}
+        self._depths = {}
+        frontier = [(s, 1) for s in seeded]
+        while frontier:
+            server, depth = frontier.pop(0)
+            node_id = server.node.node_id
+            if node_id in self._depths:
+                continue
+            self._depths[node_id] = depth
+            for child_node in server.children:
+                child = by_node_id.get(child_node.node_id)
+                if child is not None and child.node.node_id not in self._depths:
+                    frontier.append((child, depth + 1))
+
+    def depth_of(self, server) -> int:
+        return self._depths.get(server.node.node_id, -1)
+
+    def reachable_fraction(self, servers: List) -> float:
+        """Fraction of servers the flood can reach (graph connectivity)."""
+        if not servers:
+            return 1.0
+        return len(self._depths) / len(servers)

@@ -1,0 +1,118 @@
+"""Hilbert-curve geographic clustering.
+
+Section 5.2 of the paper groups content servers into clusters following
+[39]: the Hilbert curve [44] converts (longitude, latitude) into a
+one-dimensional *Hilbert number*; physically close nodes get similar
+numbers, so sorting by Hilbert number and cutting the sorted sequence
+into contiguous ranges yields proximity-preserving clusters.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..network.geo import GeoPoint
+
+__all__ = [
+    "xy_to_hilbert",
+    "hilbert_to_xy",
+    "hilbert_number",
+    "cluster_by_hilbert",
+    "DEFAULT_ORDER",
+]
+
+#: Curve order: the globe is discretised into a 2^order x 2^order grid.
+DEFAULT_ORDER = 12
+
+
+def _validate(order: int, x: int, y: int) -> int:
+    if order <= 0:
+        raise ValueError("order must be positive")
+    side = 1 << order
+    if not (0 <= x < side and 0 <= y < side):
+        raise ValueError("cell (%d, %d) outside %dx%d grid" % (x, y, side, side))
+    return side
+
+
+def xy_to_hilbert(order: int, x: int, y: int) -> int:
+    """Distance along the Hilbert curve of the grid cell ``(x, y)``."""
+    side = _validate(order, x, y)
+    rx = ry = 0
+    d = 0
+    s = side // 2
+    while s > 0:
+        rx = 1 if (x & s) > 0 else 0
+        ry = 1 if (y & s) > 0 else 0
+        d += s * s * ((3 * rx) ^ ry)
+        # Rotate the quadrant.
+        if ry == 0:
+            if rx == 1:
+                x = s - 1 - x
+                y = s - 1 - y
+            x, y = y, x
+        s //= 2
+    return d
+
+
+def hilbert_to_xy(order: int, d: int) -> Tuple[int, int]:
+    """Inverse of :func:`xy_to_hilbert`."""
+    if order <= 0:
+        raise ValueError("order must be positive")
+    side = 1 << order
+    if not 0 <= d < side * side:
+        raise ValueError("d=%d outside curve of length %d" % (d, side * side))
+    x = y = 0
+    t = d
+    s = 1
+    while s < side:
+        rx = 1 & (t // 2)
+        ry = 1 & (t ^ rx)
+        if ry == 0:
+            if rx == 1:
+                x = s - 1 - x
+                y = s - 1 - y
+            x, y = y, x
+        x += s * rx
+        y += s * ry
+        t //= 4
+        s *= 2
+    return x, y
+
+
+def hilbert_number(point: GeoPoint, order: int = DEFAULT_ORDER) -> int:
+    """Hilbert number of a geographic point.
+
+    Longitude/latitude are scaled onto the ``2^order`` grid; the curve
+    preserves locality, so nearby points receive nearby numbers.
+    """
+    side = 1 << order
+    x = int((point.lon + 180.0) / 360.0 * (side - 1))
+    y = int((point.lat + 90.0) / 180.0 * (side - 1))
+    return xy_to_hilbert(order, x, y)
+
+
+def cluster_by_hilbert(
+    items: Sequence, n_clusters: int, key=lambda item: item, order: int = DEFAULT_ORDER
+) -> List[List]:
+    """Split *items* into ``n_clusters`` proximity-preserving groups.
+
+    ``key(item)`` must return the item's :class:`GeoPoint`.  Items are
+    sorted by Hilbert number and cut into contiguous, size-balanced
+    ranges (the grouping used by HAT's hybrid infrastructure).
+    """
+    if n_clusters <= 0:
+        raise ValueError("n_clusters must be positive")
+    items = list(items)
+    if not items:
+        return [[] for _ in range(n_clusters)]
+    n_clusters = min(n_clusters, len(items))
+    decorated = sorted(items, key=lambda item: hilbert_number(key(item), order))
+    # Size-balanced contiguous cuts.
+    clusters: List[List] = []
+    base, extra = divmod(len(decorated), n_clusters)
+    start = 0
+    for i in range(n_clusters):
+        size = base + (1 if i < extra else 0)
+        clusters.append(decorated[start : start + size])
+        start += size
+    return clusters

@@ -1,0 +1,63 @@
+"""Server-based Invalidation.
+
+On every update the provider sends a small invalidation notice to each
+replica; a replica marks its copy stale and fetches the new body only
+when the next end-user request actually needs it.  This saves traffic
+when contents are updated more often than they are visited (Section 1).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..network.message import Message, MessageKind
+from ..sim.engine import Event
+from .base import ServerPolicy
+
+__all__ = ["InvalidationPolicy"]
+
+
+class InvalidationPolicy(ServerPolicy):
+    """Mark stale on notice; fetch on demand; relay notices downstream."""
+
+    method_name = "invalidation"
+
+    def __init__(self, forward: bool = True, fetch_timeout_s: Optional[float] = 60.0) -> None:
+        super().__init__()
+        self.forward = forward
+        self.fetch_timeout_s = fetch_timeout_s
+        self._fetch_inflight: Optional[Event] = None
+
+    # ------------------------------------------------------------------
+    def on_invalidate(self, message: Message) -> None:
+        self.server.mark_invalidated(message.version)
+        if self.forward:
+            # Relay down the tree so every replica hears about the update
+            # exactly once (the tree structure guarantees no duplicates).
+            self.server.invalidate_children(message.version)
+
+    def ensure_fresh(self) -> Generator:
+        """Fetch the current body from upstream if our copy is stale.
+
+        Concurrent triggers (several users, or a user plus a child's
+        fetch) share one in-flight fetch instead of duplicating it.
+        """
+        server = self.server
+        if not server.is_invalidated:
+            return
+        if self._fetch_inflight is not None:
+            yield self._fetch_inflight
+            return
+        self._fetch_inflight = server.env.event()
+        try:
+            response = yield from server.request(
+                MessageKind.FETCH,
+                server.upstream,
+                server.content.light_size_kb,
+                timeout=self.fetch_timeout_s,
+            )
+            if response is not None:
+                server.apply_version(response.version)
+        finally:
+            inflight, self._fetch_inflight = self._fetch_inflight, None
+            inflight.succeed()

@@ -1,0 +1,30 @@
+"""Push-based consistency maintenance.
+
+The provider (or tree parent) transmits the new content body to every
+downstream replica immediately after each update.  Replicas are passive;
+in a multicast tree each replica relays fresh bodies to its children.
+"""
+
+from __future__ import annotations
+
+from ..network.message import Message
+from .base import ServerPolicy
+
+__all__ = ["PushPolicy"]
+
+
+class PushPolicy(ServerPolicy):
+    """Apply pushed bodies; optionally relay them downstream."""
+
+    method_name = "push"
+
+    def __init__(self, forward: bool = True) -> None:
+        super().__init__()
+        #: Relay fresh bodies to ``server.children`` (multicast mode);
+        #: with no children this is a no-op, so it is safe to leave on.
+        self.forward = forward
+
+    def on_push(self, message: Message) -> None:
+        newer = self.server.apply_version(message.version)
+        if newer and self.forward:
+            self.server.push_children(message.version)

@@ -1,0 +1,30 @@
+"""Unicast (star) infrastructure.
+
+The provider talks to every content server directly -- the
+infrastructure the paper's Section 3 measurement shows the real CDN
+uses.  It guarantees one-hop dissemination but concentrates all update
+load on the provider's uplink.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .base import Infrastructure
+
+__all__ = ["UnicastInfrastructure"]
+
+
+class UnicastInfrastructure(Infrastructure):
+    """Provider directly connected to all servers."""
+
+    name = "unicast"
+
+    def wire(self, provider, servers: List) -> None:
+        provider.children = [server.node for server in servers]
+        for server in servers:
+            server.upstream = provider.node
+            server.children = []
+
+    def depth_of(self, server) -> int:
+        return 1

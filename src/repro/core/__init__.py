@@ -1,0 +1,18 @@
+"""The paper's primary contribution: the HAT hybrid and self-adaptive
+update system (Section 5)."""
+
+from .advisor import MethodAdvisor, Recommendation, WorkloadProfile
+from .dynamic import DynamicPolicy
+from .hat import HatConfig, HatSystem
+from .supernode import ClusterSpec, form_clusters
+
+__all__ = [
+    "HatConfig",
+    "HatSystem",
+    "ClusterSpec",
+    "form_clusters",
+    "MethodAdvisor",
+    "WorkloadProfile",
+    "Recommendation",
+    "DynamicPolicy",
+]

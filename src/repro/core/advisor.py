@@ -1,0 +1,261 @@
+"""Update-method advisor: the paper's guidance table as code.
+
+Section 4.6 ends with guidance for "appropriate selections of
+consistency maintenance infrastructures and methods":
+
+- high-consistency contents (stock tickers, e-commerce, live games)
+  => Push;
+- contents visited less often than they update => Invalidation ("it can
+  save traffic cost compared to Push if the content visit rates on
+  servers ... are smaller than the update rate", Section 1);
+- tolerant contents with frequent updates => TTL, which aggregates all
+  updates within a TTL into one transfer;
+- bursty update patterns with long silences => the self-adaptive switch
+  (Section 5.1);
+- and the proximity-aware multicast tree whenever traffic cost
+  dominates and the method is push-style (TTL over a tree suffers depth
+  amplification, Fig. 15/20).
+
+:class:`MethodAdvisor` turns measured workload rates plus a tolerance
+into that recommendation, with a transparent cost model
+(:meth:`expected_messages_per_hour`) so callers can audit the choice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+__all__ = ["WorkloadProfile", "Recommendation", "MethodAdvisor"]
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Measured characteristics of one content on one deployment."""
+
+    #: Updates per second at the origin, averaged over the window.
+    update_rate_per_s: float
+    #: Visits per second per edge server, averaged over the window.
+    visit_rate_per_s: float
+    #: Number of edge replicas.
+    n_servers: int
+    #: Burstiness of updates: fraction of wall-clock time with no update
+    #: activity (0 = steady stream, ~1 = rare bursts).
+    silence_fraction: float = 0.0
+    #: Average updates per activity burst (used to estimate how many
+    #: invalidation round-trips the self-adaptive method pays).
+    updates_per_burst: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.update_rate_per_s < 0 or self.visit_rate_per_s < 0:
+            raise ValueError("rates must be >= 0")
+        if self.n_servers <= 0:
+            raise ValueError("n_servers must be positive")
+        if not 0.0 <= self.silence_fraction <= 1.0:
+            raise ValueError("silence_fraction must be in [0, 1]")
+        if self.updates_per_burst < 1:
+            raise ValueError("updates_per_burst must be >= 1")
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """The advisor's verdict."""
+
+    method: str            # "push" | "invalidation" | "ttl" | "self-adaptive"
+    infrastructure: str    # "unicast" | "multicast"
+    ttl_s: Optional[float]
+    #: Expected *replica* staleness; under Push/Invalidation end users
+    #: still always receive fresh content (fetch happens before serving).
+    expected_staleness_s: float
+    expected_messages_per_hour: float
+    expected_kb_per_hour: float
+    reason: str
+
+
+class MethodAdvisor:
+    """Recommends an update method from a workload profile and a
+    staleness tolerance."""
+
+    def __init__(
+        self,
+        multicast_threshold_servers: int = 200,
+        min_ttl_s: float = 5.0,
+        max_ttl_s: float = 300.0,
+        update_size_kb: float = 10.0,
+        light_size_kb: float = 1.0,
+    ) -> None:
+        if multicast_threshold_servers <= 0:
+            raise ValueError("multicast_threshold_servers must be positive")
+        if not 0 < min_ttl_s <= max_ttl_s:
+            raise ValueError("need 0 < min_ttl_s <= max_ttl_s")
+        if update_size_kb <= 0 or light_size_kb <= 0:
+            raise ValueError("message sizes must be positive")
+        self.multicast_threshold_servers = multicast_threshold_servers
+        self.min_ttl_s = min_ttl_s
+        self.max_ttl_s = max_ttl_s
+        self.update_size_kb = update_size_kb
+        self.light_size_kb = light_size_kb
+
+    # ------------------------------------------------------------------
+    # cost model (messages per hour, across all servers)
+    # ------------------------------------------------------------------
+    def expected_messages_per_hour(
+        self, profile: WorkloadProfile, method: str, ttl_s: Optional[float] = None
+    ) -> float:
+        """Consistency messages per hour under each method.
+
+        Push: one body per update per server.  Invalidation: one notice
+        per update per server plus one fetch pair per update that is
+        actually visited before the next update.  TTL: one poll pair per
+        TTL per server.  Self-adaptive: TTL cost during activity, one
+        notice + one fetch pair per burst during silence.
+        """
+        updates = 3600.0 * profile.update_rate_per_s
+        visits = 3600.0 * profile.visit_rate_per_s
+        n = profile.n_servers
+        if method == "push":
+            return updates * n
+        if method == "invalidation":
+            fetch_fraction = min(1.0, _safe_ratio(visits, updates))
+            return updates * n + 2.0 * updates * fetch_fraction * n
+        if method == "ttl":
+            ttl = ttl_s if ttl_s is not None else self.min_ttl_s
+            return 2.0 * (3600.0 / ttl) * n
+        if method == "self-adaptive":
+            ttl = ttl_s if ttl_s is not None else self.min_ttl_s
+            active = 1.0 - profile.silence_fraction
+            ttl_cost = 2.0 * (3600.0 / ttl) * n * active
+            # each burst costs one invalidation notice plus one fetch
+            # round-trip per server before TTL polling resumes.
+            bursts_per_hour = updates / profile.updates_per_burst
+            burst_cost = 3.0 * n * bursts_per_hour
+            return ttl_cost + burst_cost
+        raise ValueError("unknown method %r" % (method,))
+
+    def expected_kb_per_hour(
+        self, profile: WorkloadProfile, method: str, ttl_s: Optional[float] = None
+    ) -> float:
+        """Consistency *bytes* per hour -- where Invalidation's saving
+        over Push actually lives (Section 1: notices are light, bodies
+        are not; unseen updates are never transferred).
+        """
+        updates = 3600.0 * profile.update_rate_per_s
+        visits = 3600.0 * profile.visit_rate_per_s
+        n = profile.n_servers
+        body = self.update_size_kb
+        light = self.light_size_kb
+        if method == "push":
+            return updates * n * body
+        if method == "invalidation":
+            fetch_fraction = min(1.0, _safe_ratio(visits, updates))
+            return updates * n * light + updates * fetch_fraction * n * (light + body)
+        if method == "ttl":
+            ttl = ttl_s if ttl_s is not None else self.min_ttl_s
+            polls = (3600.0 / ttl) * n
+            # a poll round-trip transfers a body only when something
+            # changed since the last poll
+            hit_fraction = min(1.0, _safe_ratio(updates, 3600.0 / ttl))
+            return polls * light + polls * (
+                hit_fraction * body + (1.0 - hit_fraction) * light
+            )
+        if method == "self-adaptive":
+            ttl = ttl_s if ttl_s is not None else self.min_ttl_s
+            active = 1.0 - profile.silence_fraction
+            bursts = updates / profile.updates_per_burst
+            return (
+                active * self.expected_kb_per_hour(profile, "ttl", ttl)
+                + bursts * n * (2.0 * light + body)
+            )
+        raise ValueError("unknown method %r" % (method,))
+
+    def expected_staleness_s(
+        self, profile: WorkloadProfile, method: str, ttl_s: Optional[float] = None
+    ) -> float:
+        """First-order expected replica staleness under each method."""
+        if method == "push":
+            return 0.1  # delivery latency only
+        if method == "invalidation":
+            # stale until the next visit triggers the fetch
+            return 0.1 + 0.5 * _safe_ratio(1.0, profile.visit_rate_per_s, cap=3600.0)
+        ttl = ttl_s if ttl_s is not None else self.min_ttl_s
+        return ttl / 2.0
+
+    # ------------------------------------------------------------------
+    def recommend(
+        self, profile: WorkloadProfile, staleness_tolerance_s: float
+    ) -> Recommendation:
+        """Pick the cheapest method whose expected staleness fits the
+        tolerance (the paper's decision logic, made explicit)."""
+        if staleness_tolerance_s < 0:
+            raise ValueError("staleness_tolerance_s must be >= 0")
+
+        infrastructure = (
+            "multicast"
+            if profile.n_servers >= self.multicast_threshold_servers
+            else "unicast"
+        )
+
+        # Strong consistency required: only Push (or Invalidation when
+        # visits are sparse -- users still never see stale data).
+        if staleness_tolerance_s < self.min_ttl_s:
+            if profile.visit_rate_per_s < profile.update_rate_per_s:
+                method = "invalidation"
+                reason = (
+                    "strong consistency with visits rarer than updates: "
+                    "invalidation serves fresh on demand and skips unseen updates"
+                )
+            else:
+                method = "push"
+                reason = "strong consistency with hot content: push every update"
+            return Recommendation(
+                method=method,
+                infrastructure=infrastructure,
+                ttl_s=None,
+                expected_staleness_s=self.expected_staleness_s(profile, method),
+                expected_messages_per_hour=self.expected_messages_per_hour(profile, method),
+                expected_kb_per_hour=self.expected_kb_per_hour(profile, method),
+                reason=reason,
+            )
+
+        # Weak consistency: a TTL-family method with TTL = 2 * tolerance
+        # (expected staleness = TTL/2) clamped to the configured range.
+        ttl = min(self.max_ttl_s, max(self.min_ttl_s, 2.0 * staleness_tolerance_s))
+        if profile.silence_fraction > 0.5:
+            method = "self-adaptive"
+            reason = (
+                "bursty updates with long silences: poll during bursts, "
+                "sit in invalidation mode through the silences (Sec 5.1)"
+            )
+        else:
+            method = "ttl"
+            reason = "steady updates within tolerance: plain TTL polling"
+        # TTL over a deep tree amplifies staleness (Fig. 15): keep
+        # pull-style methods on unicast.
+        return Recommendation(
+            method=method,
+            infrastructure="unicast",
+            ttl_s=ttl,
+            expected_staleness_s=self.expected_staleness_s(profile, method, ttl),
+            expected_messages_per_hour=self.expected_messages_per_hour(profile, method, ttl),
+            expected_kb_per_hour=self.expected_kb_per_hour(profile, method, ttl),
+            reason=reason,
+        )
+
+    def compare_all(
+        self, profile: WorkloadProfile, ttl_s: float
+    ) -> Dict[str, Dict[str, float]]:
+        """Cost/staleness of every method side by side (for reports)."""
+        return {
+            method: {
+                "messages_per_hour": self.expected_messages_per_hour(profile, method, ttl_s),
+                "kb_per_hour": self.expected_kb_per_hour(profile, method, ttl_s),
+                "staleness_s": self.expected_staleness_s(profile, method, ttl_s),
+            }
+            for method in ("push", "invalidation", "ttl", "self-adaptive")
+        }
+
+
+def _safe_ratio(numerator: float, denominator: float, cap: float = 1.0) -> float:
+    if denominator <= 0:
+        return cap
+    return min(cap, numerator / denominator)

@@ -1,0 +1,114 @@
+"""Experiment configuration: one knob set shared by all Section 4/5 drivers.
+
+The paper's testbed: 170 PlanetLab nodes (mainly U.S./Europe/Asia), the
+provider in Atlanta, one day's live game (306 snapshots over 2 h 26 m),
+five simulated end-users per node polling every 10 s, 1 KB packets, the
+provider starting updates at t = 60 s and users starting at random times
+in [0 s, 50 s].
+
+``paper_scale()`` reproduces those numbers; ``ci_scale()`` is a
+shrunken-but-same-shape configuration for tests and quick benchmark
+runs; ``smoke_scale()`` is minimal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+__all__ = ["TestbedConfig", "paper_scale", "ci_scale", "smoke_scale"]
+
+
+@dataclass
+class TestbedConfig:
+    """All tunables of one trace-driven experiment run."""
+
+    #: Not a pytest test class, despite the name.
+    __test__ = False
+
+    # --- deployment -------------------------------------------------------
+    n_servers: int = 170
+    users_per_server: int = 5
+    provider_city: str = "Atlanta"
+    tree_arity: int = 2          # Section 4's binary multicast tree
+    hat_clusters: int = 20       # Section 5: 20 geographic clusters
+    hat_arity: int = 4           # Section 5: 4-ary supernode tree
+
+    # --- content / workload -------------------------------------------------
+    n_updates: int = 306
+    game_duration_s: float = 8760.0
+    update_start_s: float = 60.0   # "provider starts to update contents at 60s"
+    update_size_kb: float = 1.0
+    light_size_kb: float = 1.0
+
+    # --- update methods ------------------------------------------------------
+    #: Content-server TTL.  Section 4 figures imply 10 s (TTL's average
+    #: server inconsistency is 5.7 s ~ TTL/2); Section 5 uses 60 s.
+    server_ttl_s: float = 10.0
+    user_ttl_s: float = 10.0
+    user_start_window_s: float = 50.0
+
+    # --- user behaviour ---------------------------------------------------
+    #: "fixed": each user sticks to its home server; "switch": a user
+    #: visits a different random server every visit (the Fig. 24 scenario).
+    user_selector: str = "fixed"
+
+    # --- run --------------------------------------------------------------
+    horizon_s: Optional[float] = None  # default: update_start + duration + slack
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_servers <= 0:
+            raise ValueError("n_servers must be positive")
+        if self.users_per_server < 0:
+            raise ValueError("users_per_server must be >= 0")
+        if self.n_updates <= 0 or self.game_duration_s <= 0:
+            raise ValueError("n_updates and game_duration_s must be positive")
+        if self.server_ttl_s <= 0 or self.user_ttl_s <= 0:
+            raise ValueError("TTLs must be positive")
+        if self.user_selector not in ("fixed", "switch"):
+            raise ValueError("user_selector must be 'fixed' or 'switch'")
+
+    @property
+    def run_horizon_s(self) -> float:
+        if self.horizon_s is not None:
+            return self.horizon_s
+        # Enough slack for the last update to propagate everywhere.
+        return self.update_start_s + self.game_duration_s + 4.0 * max(
+            self.server_ttl_s, self.user_ttl_s
+        )
+
+    def with_(self, **changes) -> "TestbedConfig":
+        """A modified copy (dataclasses.replace with a shorter name)."""
+        return replace(self, **changes)
+
+
+def paper_scale(**overrides) -> TestbedConfig:
+    """The paper's Section 4 testbed dimensions."""
+    return TestbedConfig(**overrides)
+
+
+def ci_scale(**overrides) -> TestbedConfig:
+    """~6x smaller and ~6x shorter; preserves every shape the figures test."""
+    defaults = dict(
+        n_servers=30,
+        users_per_server=2,
+        n_updates=50,
+        game_duration_s=1460.0,
+        hat_clusters=6,
+    )
+    defaults.update(overrides)
+    return TestbedConfig(**defaults)
+
+
+def smoke_scale(**overrides) -> TestbedConfig:
+    """Minimal configuration for fast unit tests."""
+    defaults = dict(
+        n_servers=8,
+        users_per_server=1,
+        n_updates=12,
+        game_duration_s=400.0,
+        hat_clusters=3,
+    )
+    defaults.update(overrides)
+    return TestbedConfig(**defaults)

@@ -1,0 +1,84 @@
+"""Export figure data as CSV for external plotting.
+
+Every figure driver returns structured results; these helpers flatten
+them into plain ``(header, rows)`` tables and write CSV files, so the
+paper's figures can be re-plotted with any tool without re-running the
+simulations.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+__all__ = [
+    "write_csv",
+    "cdf_table",
+    "series_table",
+    "method_comparison_table",
+    "matrix_table",
+]
+
+Table = Tuple[List[str], List[List]]
+
+
+def write_csv(path: str, table: Table) -> str:
+    """Write ``(header, rows)`` to *path*; returns the absolute path."""
+    header, rows = table
+    for row in rows:
+        if len(row) != len(header):
+            raise ValueError(
+                "row %r does not match header %r" % (row, header)
+            )
+    path = os.path.abspath(path)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+    return path
+
+
+def cdf_table(points: Iterable[Tuple[float, float]], x_name: str = "x") -> Table:
+    """CDF points -> a two-column table (Figs. 3, 5, 7, 12...)."""
+    rows = [[float(x), float(y)] for x, y in points]
+    return ([x_name, "cdf"], rows)
+
+
+def series_table(
+    series: Dict[float, float], x_name: str, y_name: str
+) -> Table:
+    """An ``{x: y}`` sweep -> a sorted two-column table (Figs. 17, 22, 24)."""
+    rows = [[float(x), series[x]] for x in sorted(series)]
+    return ([x_name, y_name], rows)
+
+
+def method_comparison_table(comparison) -> Table:
+    """A Section 4 MethodComparison -> per-server sorted-lag curves
+    (exactly what Figs. 14/15 plot)."""
+    methods = sorted(comparison.metrics)
+    curves = {method: comparison.sorted_server_lags(method) for method in methods}
+    length = max(len(curve) for curve in curves.values())
+    rows = []
+    for index in range(length):
+        row: List = [index]
+        for method in methods:
+            curve = curves[method]
+            row.append(curve[index] if index < len(curve) else "")
+        rows.append(row)
+    return (["server_rank"] + methods, rows)
+
+
+def matrix_table(
+    matrix: Dict[str, Dict[float, float]], x_name: str, columns: Sequence[str] = ()
+) -> Table:
+    """``{series: {x: y}}`` -> one column per series (Figs. 19, 20, 22)."""
+    names = list(columns) if columns else sorted(matrix)
+    xs = sorted({x for series in matrix.values() for x in series})
+    rows = []
+    for x in xs:
+        row: List = [float(x)]
+        for name in names:
+            row.append(matrix.get(name, {}).get(x, ""))
+        rows.append(row)
+    return ([x_name] + names, rows)

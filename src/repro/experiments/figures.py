@@ -1,0 +1,99 @@
+"""Export the data behind every reproducible figure as CSV files.
+
+``export_all`` runs the figure drivers at a given scale and writes one
+CSV per figure into a directory, so the paper's plots can be redrawn
+with any external tool (gnuplot, matplotlib, a spreadsheet) without
+touching the simulator again.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence
+
+from .config import TestbedConfig
+from .export import (
+    cdf_table,
+    matrix_table,
+    method_comparison_table,
+    series_table,
+    write_csv,
+)
+from .report import ReportScale
+from .section3 import (
+    Section3Context,
+    fig3_inconsistency_cdf,
+    fig5_inner_cluster,
+    fig6_ttl_inference,
+)
+from .section4 import (
+    fig14_unicast_inconsistency,
+    fig15_multicast_inconsistency,
+    fig16_traffic_cost,
+    fig17_cost_vs_ttl,
+    fig20_network_size,
+)
+from .section5 import (
+    fig22a_update_messages,
+    fig24_inconsistency_observations,
+    section5_config,
+)
+
+__all__ = ["export_all"]
+
+
+def export_all(
+    out_dir: str,
+    scale: Optional[ReportScale] = None,
+) -> List[str]:
+    """Run the exportable figure drivers and write one CSV each.
+
+    Returns the list of written paths.  Uses ``ReportScale.small`` by
+    default; pass ``ReportScale.medium()`` for publication-grade runs.
+    """
+    scale = scale if scale is not None else ReportScale.small()
+    os.makedirs(out_dir, exist_ok=True)
+    written: List[str] = []
+
+    def emit(name: str, table) -> None:
+        written.append(write_csv(os.path.join(out_dir, name), table))
+
+    # --- Section 3 -----------------------------------------------------
+    ctx = Section3Context(scale.section3, n_users=scale.n_users)
+    emit("fig03_inconsistency_cdf.csv",
+         cdf_table(fig3_inconsistency_cdf(ctx).cdf_points, "inconsistency_s"))
+    emit("fig05_inner_cluster_cdf.csv",
+         cdf_table(fig5_inner_cluster(ctx).cdf_points, "inconsistency_s"))
+    f6 = fig6_ttl_inference(ctx)
+    emit("fig06_ttl_deviation_curve.csv",
+         series_table(dict(f6.inference.curve), "candidate_ttl_s", "deviation"))
+
+    # --- Section 4 -----------------------------------------------------
+    emit("fig14_unicast_server_lags.csv",
+         method_comparison_table(fig14_unicast_inconsistency(scale.section4)))
+    emit("fig15_multicast_server_lags.csv",
+         method_comparison_table(fig15_multicast_inconsistency(scale.section4)))
+    f16 = fig16_traffic_cost(scale.section4)
+    cost_matrix: Dict[str, Dict[float, float]] = {}
+    for (method, infra), cost in f16.costs.items():
+        cost_matrix.setdefault("%s_%s" % (method, infra), {})[0.0] = cost
+    emit("fig16_traffic_cost.csv", matrix_table(cost_matrix, "row"))
+    f17 = fig17_cost_vs_ttl(scale.sweep, ttls_s=(10.0, 30.0, 60.0))
+    emit("fig17_cost_vs_ttl.csv", matrix_table(f17, "ttl_s"))
+    sizes = tuple(int(scale.sweep.n_servers * f) for f in (1, 3, 5))
+    f20 = fig20_network_size(scale.sweep, n_servers=sizes)
+    flat20 = {
+        "%s_%s" % (infra, method): {float(n): lag for n, lag in per.items()}
+        for infra, methods in f20.items()
+        for method, per in methods.items()
+    }
+    emit("fig20_network_size.csv", matrix_table(flat20, "n_servers"))
+
+    # --- Section 5 -----------------------------------------------------
+    s5 = section5_config(scale.sweep)
+    f22a = fig22a_update_messages(s5, user_ttls_s=(10.0, 30.0, 60.0))
+    emit("fig22a_update_messages.csv", matrix_table(f22a.counts, "user_ttl_s"))
+    f24 = fig24_inconsistency_observations(s5, user_ttls_s=(10.0, 30.0, 60.0))
+    emit("fig24_stale_observations.csv", matrix_table(f24, "user_ttl_s"))
+
+    return written

@@ -1,0 +1,230 @@
+"""Section 4 figure drivers (trace-driven evaluation, Figs. 14-20).
+
+Every driver builds fresh deployments from a :class:`TestbedConfig`, so
+results are deterministic given the config's seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..metrics.stats import PercentileSummary, summarize
+from .config import TestbedConfig
+from .testbed import DeploymentMetrics, build_deployment
+
+__all__ = [
+    "MethodComparison",
+    "fig14_unicast_inconsistency",
+    "fig15_multicast_inconsistency",
+    "fig16_traffic_cost",
+    "fig17_cost_vs_ttl",
+    "fig18_invalidation_user_ttl",
+    "fig19_packet_size",
+    "fig20_network_size",
+    "CORE_METHODS",
+]
+
+#: The three methods the paper evaluates in Section 4.
+CORE_METHODS = ("push", "invalidation", "ttl")
+
+
+@dataclass(frozen=True)
+class MethodComparison:
+    """Per-method metrics on one infrastructure (Figs. 14/15)."""
+
+    infrastructure: str
+    metrics: Dict[str, DeploymentMetrics]
+
+    def mean_server_lag(self, method: str) -> float:
+        return self.metrics[method].mean_server_lag
+
+    def mean_user_lag(self, method: str) -> float:
+        return self.metrics[method].mean_user_lag
+
+    def server_lag_ordering(self) -> List[str]:
+        """Methods sorted by server inconsistency (paper: push < inval < ttl)."""
+        return sorted(self.metrics, key=lambda m: self.metrics[m].mean_server_lag)
+
+    def sorted_server_lags(self, method: str) -> List[float]:
+        """The per-server curve as plotted (sorted ascending)."""
+        return sorted(self.metrics[method].server_lags.values())
+
+    def sorted_user_lags(self, method: str) -> List[float]:
+        return sorted(self.metrics[method].user_lags.values())
+
+
+def _compare(
+    config: TestbedConfig, infrastructure: str, methods: Sequence[str] = CORE_METHODS
+) -> MethodComparison:
+    metrics = {
+        method: build_deployment(config, method, infrastructure).run()
+        for method in methods
+    }
+    return MethodComparison(infrastructure=infrastructure, metrics=metrics)
+
+
+def fig14_unicast_inconsistency(config: TestbedConfig) -> MethodComparison:
+    """Fig. 14: server/user inconsistency, unicast star.
+
+    Paper: Push < Invalidation < TTL on servers; TTL mean ~ TTL/2;
+    users add their own polling lag, Push ~ Invalidation < TTL.
+    """
+    return _compare(config, "unicast")
+
+
+def fig15_multicast_inconsistency(config: TestbedConfig) -> MethodComparison:
+    """Fig. 15: same comparison on the binary multicast tree.
+
+    Paper: same ordering, but TTL's inconsistency is amplified by tree
+    depth (a layer-m node sees ~m times the layer-1 inconsistency).
+    """
+    return _compare(config, "multicast")
+
+
+# ----------------------------------------------------------------------
+# Fig. 16
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TrafficCostResult:
+    """km*KB consistency cost per (method, infrastructure) (Fig. 16)."""
+
+    costs: Dict[Tuple[str, str], float]
+
+    def cost(self, method: str, infrastructure: str) -> float:
+        return self.costs[(method, infrastructure)]
+
+    def multicast_saving(self, method: str) -> float:
+        return self.cost(method, "unicast") - self.cost(method, "multicast")
+
+
+def fig16_traffic_cost(
+    config: TestbedConfig, methods: Sequence[str] = CORE_METHODS
+) -> TrafficCostResult:
+    costs: Dict[Tuple[str, str], float] = {}
+    for infrastructure in ("unicast", "multicast"):
+        for method in methods:
+            metrics = build_deployment(config, method, infrastructure).run()
+            costs[(method, infrastructure)] = metrics.cost_km_kb
+    return TrafficCostResult(costs=costs)
+
+
+# ----------------------------------------------------------------------
+# Fig. 17
+# ----------------------------------------------------------------------
+def fig17_cost_vs_ttl(
+    config: TestbedConfig,
+    ttls_s: Sequence[float] = (10.0, 20.0, 30.0, 40.0, 50.0, 60.0),
+) -> Dict[str, Dict[float, float]]:
+    """Fig. 17: TTL-method cost falls as the TTL grows (both infras)."""
+    result: Dict[str, Dict[float, float]] = {}
+    for infrastructure in ("unicast", "multicast"):
+        per_ttl: Dict[float, float] = {}
+        for ttl in ttls_s:
+            metrics = build_deployment(
+                config.with_(server_ttl_s=ttl), "ttl", infrastructure
+            ).run()
+            per_ttl[ttl] = metrics.cost_km_kb
+        result[infrastructure] = per_ttl
+    return result
+
+
+# ----------------------------------------------------------------------
+# Fig. 18
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Fig18Point:
+    """One end-user-TTL setting for Invalidation (Fig. 18)."""
+
+    user_ttl_s: float
+    server_lag: PercentileSummary
+    cost_km_kb: float
+
+
+def fig18_invalidation_user_ttl(
+    config: TestbedConfig,
+    user_ttls_s: Sequence[float] = (10.0, 30.0, 60.0, 90.0, 120.0),
+) -> Dict[str, List[Fig18Point]]:
+    """Fig. 18: Invalidation with varying end-user TTL.
+
+    Paper: server inconsistency grows with the user TTL (the fetch waits
+    for a visit); traffic cost falls (visits skip whole update runs).
+    """
+    result: Dict[str, List[Fig18Point]] = {}
+    for infrastructure in ("unicast", "multicast"):
+        points: List[Fig18Point] = []
+        for user_ttl in user_ttls_s:
+            metrics = build_deployment(
+                config.with_(user_ttl_s=user_ttl), "invalidation", infrastructure
+            ).run()
+            points.append(
+                Fig18Point(
+                    user_ttl_s=user_ttl,
+                    server_lag=summarize(list(metrics.server_lags.values())),
+                    cost_km_kb=metrics.cost_km_kb,
+                )
+            )
+        result[infrastructure] = points
+    return result
+
+
+# ----------------------------------------------------------------------
+# Fig. 19
+# ----------------------------------------------------------------------
+def fig19_packet_size(
+    config: TestbedConfig,
+    sizes_kb: Sequence[float] = (1.0, 100.0, 500.0),
+    infrastructures: Sequence[str] = ("unicast", "multicast"),
+    methods: Sequence[str] = CORE_METHODS,
+) -> Dict[str, Dict[str, Dict[float, float]]]:
+    """Fig. 19: mean server inconsistency vs update packet size.
+
+    Paper: inconsistency grows with packet size; the growth rate orders
+    Push > Invalidation > TTL, and multicast grows far slower than
+    unicast (fan-out 2 vs fan-out N at the provider's uplink).
+    """
+    result: Dict[str, Dict[str, Dict[float, float]]] = {}
+    for infrastructure in infrastructures:
+        per_method: Dict[str, Dict[float, float]] = {}
+        for method in methods:
+            per_size: Dict[float, float] = {}
+            for size in sizes_kb:
+                metrics = build_deployment(
+                    config.with_(update_size_kb=size), method, infrastructure
+                ).run()
+                per_size[size] = metrics.mean_server_lag
+            per_method[method] = per_size
+        result[infrastructure] = per_method
+    return result
+
+
+# ----------------------------------------------------------------------
+# Fig. 20
+# ----------------------------------------------------------------------
+def fig20_network_size(
+    config: TestbedConfig,
+    n_servers: Sequence[int] = (170, 340, 510, 680, 850),
+    infrastructures: Sequence[str] = ("unicast", "multicast"),
+    methods: Sequence[str] = CORE_METHODS,
+) -> Dict[str, Dict[str, Dict[int, float]]]:
+    """Fig. 20: mean server inconsistency vs network size.
+
+    Paper: in unicast, TTL stays flat while Push/Invalidation grow with
+    N (provider fan-out); in multicast, TTL grows fastest because the
+    tree gets deeper and TTL lag stacks per layer.
+    """
+    result: Dict[str, Dict[str, Dict[int, float]]] = {}
+    for infrastructure in infrastructures:
+        per_method: Dict[str, Dict[int, float]] = {}
+        for method in methods:
+            per_n: Dict[int, float] = {}
+            for n in n_servers:
+                metrics = build_deployment(
+                    config.with_(n_servers=n), method, infrastructure
+                ).run()
+                per_n[n] = metrics.mean_server_lag
+            per_method[method] = per_n
+        result[infrastructure] = per_method
+    return result

@@ -1,0 +1,150 @@
+"""Section 5 figure drivers (HAT evaluation, Figs. 22-24).
+
+The Section 5 testbed: 60 s content-server TTL, 10 s end-user TTL,
+servers grouped into 20 geographic clusters, supernodes in a 4-ary Push
+tree.  Six systems are compared: Push / Invalidation / TTL (unicast),
+Self (self-adaptive on unicast), Hybrid (HAT infrastructure + plain TTL
+members), and HAT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from .config import TestbedConfig
+from .testbed import DeploymentMetrics, SYSTEMS, build_system
+
+__all__ = [
+    "section5_config",
+    "Fig22aResult",
+    "fig22a_update_messages",
+    "fig22b_provider_messages",
+    "Fig23Result",
+    "fig23_network_load",
+    "fig24_inconsistency_observations",
+]
+
+
+def section5_config(base: Optional[TestbedConfig] = None, **overrides) -> TestbedConfig:
+    """Apply the Section 5 defaults (server TTL 60 s) to a config."""
+    config = base if base is not None else TestbedConfig()
+    settings = dict(server_ttl_s=60.0)
+    settings.update(overrides)
+    return config.with_(**settings)
+
+
+# ----------------------------------------------------------------------
+# Fig. 22a: update messages vs end-user TTL
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Fig22aResult:
+    """system -> {end-user TTL -> response/update message count}."""
+
+    counts: Dict[str, Dict[float, int]]
+
+    def at(self, system: str, user_ttl_s: float) -> int:
+        return self.counts[system][user_ttl_s]
+
+    def ordering_at(self, user_ttl_s: float) -> List[str]:
+        """Systems sorted by message count, heaviest first."""
+        return sorted(
+            self.counts,
+            key=lambda system: self.counts[system][user_ttl_s],
+            reverse=True,
+        )
+
+
+def fig22a_update_messages(
+    config: TestbedConfig,
+    user_ttls_s: Sequence[float] = (10.0, 20.0, 30.0, 40.0, 50.0, 60.0),
+    systems: Sequence[str] = SYSTEMS,
+) -> Fig22aResult:
+    """Fig. 22a (paper ordering: Push > Inval > Hybrid ~ TTL > HAT > Self)."""
+    counts: Dict[str, Dict[float, int]] = {}
+    for system in systems:
+        per_ttl: Dict[float, int] = {}
+        for user_ttl in user_ttls_s:
+            metrics = build_system(config.with_(user_ttl_s=user_ttl), system).run()
+            per_ttl[user_ttl] = metrics.response_messages
+        counts[system] = per_ttl
+    return Fig22aResult(counts=counts)
+
+
+# ----------------------------------------------------------------------
+# Fig. 22b: provider load vs content-server TTL
+# ----------------------------------------------------------------------
+def fig22b_provider_messages(
+    config: TestbedConfig,
+    server_ttls_s: Sequence[float] = (10.0, 20.0, 30.0, 40.0, 50.0, 60.0),
+    systems: Sequence[str] = SYSTEMS,
+) -> Dict[str, Dict[float, int]]:
+    """Fig. 22b: update messages sent by the provider itself.
+
+    Paper: Hybrid and HAT are lightest (the provider pushes only to its
+    few tree children); TTL/Self grow as the server TTL shrinks.
+    """
+    counts: Dict[str, Dict[float, int]] = {}
+    for system in systems:
+        per_ttl: Dict[float, int] = {}
+        for server_ttl in server_ttls_s:
+            metrics = build_system(config.with_(server_ttl_s=server_ttl), system).run()
+            per_ttl[server_ttl] = metrics.provider_response_messages
+        counts[system] = per_ttl
+    return counts
+
+
+# ----------------------------------------------------------------------
+# Fig. 23: network load (km), update vs light messages
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Fig23Result:
+    """Per-system network load in km, split as the paper splits it."""
+
+    update_load_km: Dict[str, float]
+    light_load_km: Dict[str, float]
+
+    def total_load_km(self, system: str) -> float:
+        return self.update_load_km[system] + self.light_load_km[system]
+
+    def lightest_total(self) -> str:
+        return min(self.update_load_km, key=self.total_load_km)
+
+
+def fig23_network_load(
+    config: TestbedConfig, systems: Sequence[str] = SYSTEMS
+) -> Fig23Result:
+    """Fig. 23 (paper: HAT generates the lightest total load)."""
+    update_load: Dict[str, float] = {}
+    light_load: Dict[str, float] = {}
+    for system in systems:
+        metrics = build_system(config, system).run()
+        update_load[system] = metrics.response_load_km
+        light_load[system] = metrics.request_load_km
+    return Fig23Result(update_load_km=update_load, light_load_km=light_load)
+
+
+# ----------------------------------------------------------------------
+# Fig. 24: user-observed inconsistency
+# ----------------------------------------------------------------------
+def fig24_inconsistency_observations(
+    config: TestbedConfig,
+    user_ttls_s: Sequence[float] = (10.0, 20.0, 30.0, 40.0, 50.0, 60.0),
+    systems: Sequence[str] = SYSTEMS,
+) -> Dict[str, Dict[float, float]]:
+    """Fig. 24: % of observations older than already-seen content, with
+    users switching servers on every visit.
+
+    Paper ordering: TTL ~ Hybrid > HAT > Self > Push ~ Invalidation ~ 0,
+    and all TTL-family curves fall as the end-user TTL grows.
+    """
+    fractions: Dict[str, Dict[float, float]] = {}
+    for system in systems:
+        per_ttl: Dict[float, float] = {}
+        for user_ttl in user_ttls_s:
+            metrics = build_system(
+                config.with_(user_ttl_s=user_ttl, user_selector="switch"), system
+            ).run()
+            per_ttl[user_ttl] = metrics.mean_stale_fraction
+        fractions[system] = per_ttl
+    return fractions

@@ -1,0 +1,364 @@
+"""Build and run one simulated-CDN deployment (the Section 4/5 testbed).
+
+A *deployment* is a fully wired simulation: topology + fabric + content +
+provider + servers (with an update-method policy) + end users, run to a
+horizon and summarised into :class:`DeploymentMetrics`.
+
+Two entry points:
+
+- :func:`build_deployment` -- one update method on one infrastructure
+  (the Section 4 grid: {push, invalidation, ttl, self-adaptive,
+  adaptive-ttl} x {unicast, multicast, broadcast});
+- :func:`build_system` -- the Section 5 named systems, adding ``self``
+  (self-adaptive on unicast), ``hybrid`` (HAT infrastructure with plain
+  TTL members) and ``hat`` (the full proposal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..cdn.client import EndUserActor, FixedSelector, SwitchEveryVisitSelector
+from ..cdn.content import LiveContent
+from ..cdn.provider import ProviderActor
+from ..cdn.server import ServerActor
+from ..consistency.adaptive import AdaptiveTTLPolicy, SelfAdaptivePolicy
+from ..consistency.broadcast import BroadcastInfrastructure
+from ..consistency.invalidation import InvalidationPolicy
+from ..consistency.multicast import MulticastTreeInfrastructure
+from ..consistency.push import PushPolicy
+from ..consistency.ttl import TTLPolicy
+from ..consistency.unicast import UnicastInfrastructure
+from ..core.hat import HatConfig, HatSystem
+from ..metrics.consistency import (
+    mean_update_lag,
+    stale_observation_fraction,
+)
+from ..metrics.traffic import TrafficLedger
+from ..network.link import NetworkFabric
+from ..network.topology import Topology, TopologyBuilder
+from ..sim.engine import Environment
+from ..sim.rng import StreamRegistry
+from ..trace.workload import LiveGameWorkload
+from .config import TestbedConfig
+
+__all__ = [
+    "METHODS",
+    "INFRASTRUCTURES",
+    "SYSTEMS",
+    "Deployment",
+    "DeploymentMetrics",
+    "build_deployment",
+    "build_system",
+]
+
+METHODS = ("push", "invalidation", "ttl", "self-adaptive", "adaptive-ttl", "dynamic")
+INFRASTRUCTURES = ("unicast", "multicast", "broadcast")
+#: Section 5 systems (Figs. 22-24).
+SYSTEMS = ("push", "invalidation", "ttl", "self", "hybrid", "hat")
+
+
+@dataclass
+class DeploymentMetrics:
+    """Everything the figure drivers read off one finished run."""
+
+    name: str
+    server_lags: Dict[str, float]
+    user_lags: Dict[str, float]
+    user_stale_fractions: Dict[str, float]
+    cost_km_kb: float
+    update_messages: int
+    light_messages: int
+    #: Fig. 22 metric: bodies + poll responses ("update messages" in the
+    #: paper's Section 5 accounting).
+    response_messages: int
+    provider_response_messages: int
+    update_load_km: float
+    light_load_km: float
+    #: Fig. 23 loads under the response-inclusive split.
+    response_load_km: float
+    request_load_km: float
+    provider_update_messages: int
+    provider_messages: int
+
+    @property
+    def mean_server_lag(self) -> float:
+        return float(np.mean(list(self.server_lags.values())))
+
+    @property
+    def mean_user_lag(self) -> float:
+        return float(np.mean(list(self.user_lags.values())))
+
+    @property
+    def mean_stale_fraction(self) -> float:
+        return float(np.mean(list(self.user_stale_fractions.values())))
+
+    def server_lag_percentiles(self, qs=(5.0, 50.0, 95.0)) -> List[float]:
+        values = np.asarray(list(self.server_lags.values()))
+        return [float(np.percentile(values, q)) for q in qs]
+
+
+class Deployment:
+    """A wired, startable simulation instance."""
+
+    def __init__(
+        self,
+        name: str,
+        config: TestbedConfig,
+        env: Environment,
+        streams: StreamRegistry,
+        fabric: NetworkFabric,
+        content: LiveContent,
+        provider: ProviderActor,
+        servers: List[ServerActor],
+        users: List[EndUserActor],
+    ) -> None:
+        self.name = name
+        self.config = config
+        self.env = env
+        self.streams = streams
+        self.fabric = fabric
+        self.content = content
+        self.provider = provider
+        self.servers = servers
+        self.users = users
+        self._ran = False
+
+    def run(self, horizon_s: Optional[float] = None) -> DeploymentMetrics:
+        """Start all actors, run to the horizon, and summarise."""
+        if self._ran:
+            raise RuntimeError("deployment %r already ran" % self.name)
+        self._ran = True
+        horizon = horizon_s if horizon_s is not None else self.config.run_horizon_s
+        for server in self.servers:
+            server.start()
+        for user in self.users:
+            user.start()
+        self.env.run(until=horizon)
+        return self._collect(horizon)
+
+    def _collect(self, horizon: float) -> DeploymentMetrics:
+        ledger = self.fabric.ledger
+        server_lags = {
+            server.node.node_id: mean_update_lag(
+                self.content, server.apply_log(), censor_at=horizon
+            )
+            for server in self.servers
+        }
+        user_lags = {}
+        stale = {}
+        for user in self.users:
+            log = [(obs.time, obs.version) for obs in user.observations]
+            user_lags[user.node.node_id] = mean_update_lag(
+                self.content, log, censor_at=horizon
+            )
+            stale[user.node.node_id] = stale_observation_fraction(user.observations)
+        return DeploymentMetrics(
+            name=self.name,
+            server_lags=server_lags,
+            user_lags=user_lags,
+            user_stale_fractions=stale,
+            cost_km_kb=ledger.consistency_cost_km_kb(),
+            update_messages=ledger.update_message_count(),
+            light_messages=ledger.light_message_count(),
+            response_messages=ledger.response_message_count(),
+            provider_response_messages=ledger.responses_sent_by("provider"),
+            update_load_km=ledger.update_load_km(),
+            light_load_km=ledger.light_load_km(),
+            response_load_km=ledger.response_load_km(),
+            request_load_km=ledger.request_load_km(),
+            provider_update_messages=ledger.updates_sent_by("provider"),
+            provider_messages=ledger.messages_sent_by("provider"),
+        )
+
+
+# ----------------------------------------------------------------------
+# shared construction pieces
+# ----------------------------------------------------------------------
+def _base(config: TestbedConfig):
+    env = Environment()
+    streams = StreamRegistry(config.seed)
+    builder = TopologyBuilder(env, streams)
+    topology = builder.build(
+        n_servers=config.n_servers,
+        users_per_server=config.users_per_server,
+        provider_city=config.provider_city,
+    )
+    fabric = NetworkFabric(env, ledger=TrafficLedger(), streams=streams)
+    content = _make_content(config, streams)
+    return env, streams, topology, fabric, content
+
+
+def _make_content(config: TestbedConfig, streams: StreamRegistry) -> LiveContent:
+    workload = LiveGameWorkload(
+        n_updates=config.n_updates, duration_s=config.game_duration_s
+    )
+    times = workload.generate(streams.stream("testbed.updates"))
+    return LiveContent(
+        "live-game",
+        update_times=[config.update_start_s + t for t in times],
+        update_size_kb=config.update_size_kb,
+        light_size_kb=config.light_size_kb,
+    )
+
+
+def _make_policy(method: str, config: TestbedConfig, streams: StreamRegistry):
+    phase = streams.stream("testbed.poll.phase")
+    if method == "push":
+        return PushPolicy(forward=True)
+    if method == "invalidation":
+        return InvalidationPolicy(forward=True)
+    if method == "ttl":
+        return TTLPolicy(config.server_ttl_s, stream=phase)
+    if method == "self-adaptive":
+        return SelfAdaptivePolicy(config.server_ttl_s, stream=phase)
+    if method == "adaptive-ttl":
+        return AdaptiveTTLPolicy(
+            min_ttl_s=config.server_ttl_s,
+            max_ttl_s=8.0 * config.server_ttl_s,
+            stream=phase,
+        )
+    if method == "dynamic":
+        from ..core.dynamic import DynamicPolicy
+
+        return DynamicPolicy(
+            config.server_ttl_s,
+            staleness_tolerance_s=config.server_ttl_s / 2.0,
+            stream=phase,
+        )
+    raise ValueError("unknown method %r (expected one of %s)" % (method, METHODS))
+
+
+def _wire_provider(provider: ProviderActor, method: str) -> None:
+    if method == "push":
+        provider.use_push()
+    elif method == "invalidation":
+        provider.use_invalidation()
+    elif method == "self-adaptive":
+        provider.use_self_adaptive()
+    elif method == "dynamic":
+        provider.use_dynamic()
+    # ttl / adaptive-ttl: pull-only, the provider just answers polls.
+
+
+def _make_infrastructure(name: str, config: TestbedConfig, fabric: NetworkFabric):
+    if name == "unicast":
+        return UnicastInfrastructure()
+    if name == "multicast":
+        return MulticastTreeInfrastructure(fabric, arity=config.tree_arity)
+    if name == "broadcast":
+        return BroadcastInfrastructure(fabric)
+    raise ValueError(
+        "unknown infrastructure %r (expected one of %s)" % (name, INFRASTRUCTURES)
+    )
+
+
+def _make_users(
+    config: TestbedConfig,
+    env: Environment,
+    streams: StreamRegistry,
+    fabric: NetworkFabric,
+    content: LiveContent,
+    topology: Topology,
+    server_of_node: Dict[str, ServerActor],
+) -> List[EndUserActor]:
+    start_stream = streams.stream("testbed.user.start")
+    switch_stream = streams.stream("testbed.user.switch")
+    all_server_nodes = [server.node for server in server_of_node.values()]
+    users: List[EndUserActor] = []
+    for index, server_node in enumerate(topology.servers):
+        for user_node in topology.users[index]:
+            if config.user_selector == "switch":
+                selector = SwitchEveryVisitSelector(all_server_nodes, switch_stream)
+            else:
+                selector = FixedSelector(server_node)
+            users.append(
+                EndUserActor(
+                    env,
+                    user_node,
+                    fabric,
+                    content,
+                    selector,
+                    user_ttl_s=config.user_ttl_s,
+                    start_offset_s=start_stream.uniform(0.0, config.user_start_window_s),
+                )
+            )
+    return users
+
+
+# ----------------------------------------------------------------------
+# entry points
+# ----------------------------------------------------------------------
+def build_deployment(
+    config: TestbedConfig, method: str, infrastructure: str = "unicast"
+) -> Deployment:
+    """One Section 4 cell: *method* running on *infrastructure*."""
+    env, streams, topology, fabric, content = _base(config)
+    provider = ProviderActor(env, topology.provider, fabric, content)
+    servers = [
+        ServerActor(
+            env, node, fabric, content, policy=_make_policy(method, config, streams)
+        )
+        for node in topology.servers
+    ]
+    infra = _make_infrastructure(infrastructure, config, fabric)
+    infra.wire(provider, servers)
+    _wire_provider(provider, method)
+    server_of_node = {server.node.node_id: server for server in servers}
+    users = _make_users(config, env, streams, fabric, content, topology, server_of_node)
+    return Deployment(
+        name="%s/%s" % (method, infrastructure),
+        config=config,
+        env=env,
+        streams=streams,
+        fabric=fabric,
+        content=content,
+        provider=provider,
+        servers=servers,
+        users=users,
+    )
+
+
+def build_system(config: TestbedConfig, system: str) -> Deployment:
+    """One Section 5 system (Figs. 22-24)."""
+    if system in ("push", "invalidation", "ttl"):
+        return build_deployment(config, system, "unicast")
+    if system == "self":
+        deployment = build_deployment(config, "self-adaptive", "unicast")
+        deployment.name = "self"
+        return deployment
+    if system in ("hybrid", "hat"):
+        env, streams, topology, fabric, content = _base(config)
+        hat = HatSystem(
+            env,
+            fabric,
+            streams,
+            content,
+            provider_node=topology.provider,
+            server_nodes=list(topology.servers),
+            config=HatConfig(
+                n_clusters=config.hat_clusters,
+                tree_arity=config.hat_arity,
+                server_ttl_s=config.server_ttl_s,
+                member_method="ttl" if system == "hybrid" else "self-adaptive",
+            ),
+        )
+        server_of_node = dict(hat.server_by_node_id)
+        users = _make_users(
+            config, env, streams, fabric, content, topology, server_of_node
+        )
+        return Deployment(
+            name=system,
+            config=config,
+            env=env,
+            streams=streams,
+            fabric=fabric,
+            content=content,
+            provider=hat.provider,
+            servers=hat.servers,
+            users=users,
+        )
+    raise ValueError("unknown system %r (expected one of %s)" % (system, SYSTEMS))

@@ -1,0 +1,176 @@
+"""Statistical helpers used throughout the trace analysis and experiments.
+
+These mirror the estimators the paper uses: empirical CDFs, the 5th /
+median / 95th percentile summaries (Figs. 4e, 9b-c, 18a), root-mean-square
+error between CDFs (Fig. 6b) and Pearson correlation (Fig. 8).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Cdf",
+    "PercentileSummary",
+    "percentile",
+    "summarize",
+    "rmse_between_cdfs",
+    "pearson_r",
+    "mean",
+]
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean; raises on empty input (explicit is better than NaN)."""
+    values = list(values)
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return float(sum(values)) / len(values)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The *q*-th percentile (0-100) with linear interpolation."""
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be in [0, 100], got %r" % (q,))
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("percentile of empty sequence")
+    return float(np.percentile(arr, q))
+
+
+@dataclass(frozen=True)
+class PercentileSummary:
+    """The paper's standard 5th / median / 95th percentile summary."""
+
+    p5: float
+    median: float
+    p95: float
+    mean: float
+    count: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "p5": self.p5,
+            "median": self.median,
+            "p95": self.p95,
+            "mean": self.mean,
+            "count": self.count,
+        }
+
+
+def summarize(values: Sequence[float]) -> PercentileSummary:
+    """Build a :class:`PercentileSummary` of *values*."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("summarize of empty sequence")
+    return PercentileSummary(
+        p5=float(np.percentile(arr, 5)),
+        median=float(np.percentile(arr, 50)),
+        p95=float(np.percentile(arr, 95)),
+        mean=float(arr.mean()),
+        count=int(arr.size),
+    )
+
+
+class Cdf:
+    """An empirical cumulative distribution function."""
+
+    def __init__(self, values: Iterable[float]) -> None:
+        self._sorted = np.sort(np.asarray(list(values), dtype=float))
+        if self._sorted.size == 0:
+            raise ValueError("Cdf of empty sequence")
+
+    def __len__(self) -> int:
+        return int(self._sorted.size)
+
+    @property
+    def values(self) -> np.ndarray:
+        """The sorted sample (read-only view)."""
+        view = self._sorted.view()
+        view.flags.writeable = False
+        return view
+
+    def at(self, x: float) -> float:
+        """P(X <= x)."""
+        return float(np.searchsorted(self._sorted, x, side="right")) / self._sorted.size
+
+    def fraction_below(self, x: float) -> float:
+        """P(X < x)."""
+        return float(np.searchsorted(self._sorted, x, side="left")) / self._sorted.size
+
+    def fraction_above(self, x: float) -> float:
+        """P(X > x)."""
+        return 1.0 - self.at(x)
+
+    def quantile(self, q: float) -> float:
+        """Inverse CDF at ``q`` in [0, 1]."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        return float(np.quantile(self._sorted, q))
+
+    def points(self, max_points: int = 200) -> List[Tuple[float, float]]:
+        """``(x, F(x))`` pairs suitable for plotting or table output."""
+        n = self._sorted.size
+        if n <= max_points:
+            idx = np.arange(n)
+        else:
+            idx = np.linspace(0, n - 1, max_points).astype(int)
+        return [(float(self._sorted[i]), float(i + 1) / n) for i in idx]
+
+    def summary(self) -> PercentileSummary:
+        return summarize(self._sorted)
+
+
+def rmse_between_cdfs(a: Cdf, b: Cdf, grid: Sequence[float]) -> float:
+    """Root-mean-square difference between two CDFs on an x-*grid*.
+
+    This is the paper's Fig. 6b statistic comparing the trace CDF with
+    the theoretical uniform-[0, TTL] CDF.
+    """
+    grid = list(grid)
+    if not grid:
+        raise ValueError("grid must be non-empty")
+    sq = [(a.at(x) - b.at(x)) ** 2 for x in grid]
+    return math.sqrt(sum(sq) / len(sq))
+
+
+def uniform_cdf_value(x: float, low: float, high: float) -> float:
+    """CDF of Uniform(low, high) at *x* -- the Fig. 6b theory curve."""
+    if high <= low:
+        raise ValueError("high must exceed low")
+    if x <= low:
+        return 0.0
+    if x >= high:
+        return 1.0
+    return (x - low) / (high - low)
+
+
+def rmse_against_uniform(sample: Sequence[float], ttl: float, grid_step: float = 1.0) -> float:
+    """RMSE between the empirical CDF of *sample* and Uniform(0, ttl)."""
+    cdf = Cdf(sample)
+    xs = np.arange(0.0, ttl + grid_step / 2.0, grid_step)
+    sq = [(cdf.at(float(x)) - uniform_cdf_value(float(x), 0.0, ttl)) ** 2 for x in xs]
+    return math.sqrt(sum(sq) / len(sq))
+
+
+def pearson_r(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson correlation coefficient (Fig. 8: r = 0.11)."""
+    x = np.asarray(list(xs), dtype=float)
+    y = np.asarray(list(ys), dtype=float)
+    if x.size != y.size:
+        raise ValueError("sequences must have equal length")
+    if x.size < 2:
+        raise ValueError("need at least two points")
+    xs_std = x.std()
+    ys_std = y.std()
+    if xs_std == 0.0 or ys_std == 0.0:
+        return 0.0
+    return float(((x - x.mean()) * (y - y.mean())).mean() / (xs_std * ys_std))
+
+
+__all__.append("uniform_cdf_value")
+__all__.append("rmse_against_uniform")

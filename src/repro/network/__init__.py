@@ -1,0 +1,32 @@
+"""Network substrate: geography, ISPs, nodes, messages and the fabric."""
+
+from .geo import City, CityCatalog, EARTH_RADIUS_KM, GeoPoint, WORLD_CITIES, haversine_km
+from .isp import ISP, ISPRegistry, InterISPModel
+from .link import FabricParams, NetworkFabric, SPEED_OF_LIGHT_FIBRE_KM_S
+from .message import LIGHT_KINDS, Message, MessageKind, UPDATE_KINDS
+from .node import DEFAULT_PROVIDER_UPLINK_KBPS, DEFAULT_UPLINK_KBPS, NetworkNode
+from .topology import Topology, TopologyBuilder
+
+__all__ = [
+    "GeoPoint",
+    "haversine_km",
+    "City",
+    "CityCatalog",
+    "WORLD_CITIES",
+    "EARTH_RADIUS_KM",
+    "ISP",
+    "ISPRegistry",
+    "InterISPModel",
+    "Message",
+    "MessageKind",
+    "LIGHT_KINDS",
+    "UPDATE_KINDS",
+    "NetworkNode",
+    "DEFAULT_UPLINK_KBPS",
+    "DEFAULT_PROVIDER_UPLINK_KBPS",
+    "NetworkFabric",
+    "FabricParams",
+    "SPEED_OF_LIGHT_FIBRE_KM_S",
+    "Topology",
+    "TopologyBuilder",
+]

@@ -1,0 +1,142 @@
+"""The network fabric: message transport with realistic delays.
+
+Every message experiences
+
+1. *output-port queueing* at the sender (transmissions serialise on the
+   sender's uplink -- the paper's provider-fan-out bottleneck),
+2. *transmission delay* ``size / uplink bandwidth``,
+3. *propagation delay* proportional to great-circle distance (light in
+   fibre travels at roughly 2/3 c), plus a small per-path base latency,
+4. an *inter-ISP penalty* when the message crosses ISP boundaries
+   (Section 3.4.3 of the paper).
+
+The fabric also feeds every delivered message into a
+:class:`~repro.metrics.traffic.TrafficLedger` so experiments can report
+traffic cost (km*KB), message counts, and network load (km).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..metrics.traffic import TrafficLedger
+from ..sim.engine import Environment, Event
+from ..sim.rng import RandomStream, StreamRegistry
+from .isp import InterISPModel
+from .message import Message
+from .node import NetworkNode
+
+__all__ = ["FabricParams", "NetworkFabric", "SPEED_OF_LIGHT_FIBRE_KM_S"]
+
+#: Signal speed in optical fibre (~2/3 of c), km/s.
+SPEED_OF_LIGHT_FIBRE_KM_S = 200_000.0
+
+
+@dataclass
+class FabricParams:
+    """Tunable constants of the transport model."""
+
+    #: Propagation speed along the (idealised great-circle) path.
+    speed_km_per_s: float = SPEED_OF_LIGHT_FIBRE_KM_S
+    #: Fixed per-path overhead (routing, last-mile), seconds.
+    base_latency_s: float = 0.004
+    #: Per-message service time at the sender's output port (syscalls,
+    #: application processing) -- what makes a provider unicasting to N
+    #: children serialise ~N of these and drives the Fig. 19/20 trends.
+    per_message_overhead_s: float = 0.005
+    #: Relative jitter applied to the propagation component.
+    latency_jitter_frac: float = 0.10
+    #: Path-stretch factor: real routes are longer than great circles.
+    path_stretch: float = 1.3
+    #: Inter-ISP handoff penalty model.
+    inter_isp: InterISPModel = field(default_factory=InterISPModel)
+
+    def __post_init__(self) -> None:
+        if self.speed_km_per_s <= 0:
+            raise ValueError("speed_km_per_s must be positive")
+        if self.path_stretch < 1.0:
+            raise ValueError("path_stretch must be >= 1")
+
+
+class NetworkFabric:
+    """Carries messages between :class:`NetworkNode` objects."""
+
+    def __init__(
+        self,
+        env: Environment,
+        ledger: Optional[TrafficLedger] = None,
+        params: Optional[FabricParams] = None,
+        streams: Optional[StreamRegistry] = None,
+    ) -> None:
+        self.env = env
+        self.ledger = ledger if ledger is not None else TrafficLedger()
+        self.params = params if params is not None else FabricParams()
+        streams = streams if streams is not None else StreamRegistry(0)
+        self._jitter_stream: RandomStream = streams.stream("fabric.jitter")
+        self._isp_stream: RandomStream = streams.stream("fabric.isp")
+        #: Messages dropped because the receiver was down.
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    # delay model
+    # ------------------------------------------------------------------
+    def min_latency_s(self, src: NetworkNode, dst: NetworkNode) -> float:
+        """Deterministic one-way latency (no jitter, no queueing).
+
+        Used by proximity-aware tree building as the "inter-ping latency"
+        measure of Section 4.
+        """
+        distance = src.distance_km(dst) * self.params.path_stretch
+        return self.params.base_latency_s + distance / self.params.speed_km_per_s
+
+    def _one_way_delay(self, src: NetworkNode, dst: NetworkNode) -> float:
+        base = self.min_latency_s(src, dst)
+        jitter = self._jitter_stream.jitter(base, self.params.latency_jitter_frac) - base
+        penalty = self.params.inter_isp.penalty(src.isp, dst.isp, self._isp_stream)
+        return max(0.0, base + jitter) + penalty
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def send(self, message: Message) -> Event:
+        """Send *message*; the returned event fires at delivery time.
+
+        The event's value is ``True`` if the message reached the
+        receiver's inbox and ``False`` if it was dropped (receiver down).
+        A down *sender* drops the message immediately.
+        """
+        message.created_at = self.env.now
+        return self.env.process(self._transfer(message))
+
+    def _transfer(self, message: Message):
+        src: NetworkNode = message.src
+        dst: NetworkNode = message.dst
+        if not src.is_up:
+            self.dropped += 1
+            return False
+
+        # 1-2. Queue on, then occupy, the sender's output port.
+        with src.output_port.request() as grant:
+            yield grant
+            yield self.env.timeout(
+                self.params.per_message_overhead_s
+                + src.transmission_delay(message.size_kb)
+            )
+
+        # The bytes have left the sender: account for them.
+        distance = src.distance_km(dst)
+        self.ledger.record(message, distance)
+
+        # 3-4. Propagate (incl. possible inter-ISP penalty).
+        yield self.env.timeout(self._one_way_delay(src, dst))
+
+        if not dst.is_up:
+            self.dropped += 1
+            return False
+        dst.inbox.put(message)
+        return True
+
+    def rtt_s(self, a: NetworkNode, b: NetworkNode) -> float:
+        """Deterministic round-trip latency estimate between two nodes."""
+        return 2.0 * self.min_latency_s(a, b)

@@ -1,0 +1,110 @@
+"""Message taxonomy for consistency maintenance and content delivery.
+
+Section 5.3 of the paper distinguishes *update messages* (carrying a
+content body -- "usually much larger than the size of other messages")
+from *light messages* (update polls, invalidation notices, structure
+maintenance).  Every message in the simulation is tagged with a
+:class:`MessageKind` so the ledger can reproduce that split exactly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["MessageKind", "Message", "LIGHT_KINDS", "UPDATE_KINDS"]
+
+
+class MessageKind(enum.Enum):
+    """All message types exchanged in the simulated CDN."""
+
+    # --- consistency maintenance: update (heavy) messages --------------
+    PUSH_UPDATE = "push_update"          # provider/parent pushes new body
+    POLL_RESPONSE = "poll_response"      # poll answered *with a new body*
+    FETCH_RESPONSE = "fetch_response"    # invalidation-triggered fetch body
+
+    # --- consistency maintenance: light messages -----------------------
+    POLL = "poll"                        # TTL poll request
+    POLL_NOT_MODIFIED = "poll_not_modified"  # poll answered "unchanged"
+    INVALIDATE = "invalidate"            # invalidation notice
+    FETCH = "fetch"                      # fetch request after invalidation
+    SWITCH_NOTICE = "switch_notice"      # self-adaptive TTL<->Inval notice
+    TREE_MAINTENANCE = "tree_maintenance"  # multicast-tree join/repair
+
+    # --- content delivery (end-user traffic, not consistency) ----------
+    CONTENT_REQUEST = "content_request"
+    CONTENT_RESPONSE = "content_response"
+
+    # --- DNS ------------------------------------------------------------
+    DNS_QUERY = "dns_query"
+    DNS_RESPONSE = "dns_response"
+
+
+#: Message kinds that carry a content body (the paper's "update messages").
+UPDATE_KINDS = frozenset(
+    {MessageKind.PUSH_UPDATE, MessageKind.POLL_RESPONSE, MessageKind.FETCH_RESPONSE}
+)
+
+#: Consistency-maintenance messages without a body ("light messages").
+LIGHT_KINDS = frozenset(
+    {
+        MessageKind.POLL,
+        MessageKind.POLL_NOT_MODIFIED,
+        MessageKind.INVALIDATE,
+        MessageKind.FETCH,
+        MessageKind.SWITCH_NOTICE,
+        MessageKind.TREE_MAINTENANCE,
+    }
+)
+
+_SEQ = 0
+
+
+def _next_seq() -> int:
+    global _SEQ
+    _SEQ += 1
+    return _SEQ
+
+
+@dataclass
+class Message:
+    """A single message in flight.
+
+    ``version`` is the content-snapshot index the message refers to
+    (``None`` for DNS / maintenance messages).  ``payload`` carries
+    protocol-specific extras (e.g. the poller's reply inbox).
+    """
+
+    kind: MessageKind
+    src: Any
+    dst: Any
+    size_kb: float
+    version: Optional[int] = None
+    payload: Any = None
+    created_at: float = 0.0
+    seq: int = field(default_factory=_next_seq)
+
+    @property
+    def is_update(self) -> bool:
+        """``True`` if this is a body-carrying update message."""
+        return self.kind in UPDATE_KINDS
+
+    @property
+    def is_light(self) -> bool:
+        """``True`` if this is a light consistency-maintenance message."""
+        return self.kind in LIGHT_KINDS
+
+    @property
+    def is_consistency(self) -> bool:
+        """``True`` if the message belongs to consistency maintenance."""
+        return self.is_update or self.is_light
+
+    def __repr__(self) -> str:
+        return "Message(%s, %s->%s, v=%s, %.1fKB)" % (
+            self.kind.value,
+            getattr(self.src, "node_id", self.src),
+            getattr(self.dst, "node_id", self.dst),
+            self.version,
+            self.size_kb,
+        )

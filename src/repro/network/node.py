@@ -1,0 +1,71 @@
+"""Network node: the attachment point of every simulated actor.
+
+A node owns its geographic position, ISP membership, uplink bandwidth and
+-- crucially for the paper's scalability results -- an *output port*
+resource of capacity 1.  All transmissions leaving a node serialise on
+this port, so a provider pushing a large update to 170 unicast children
+queues 170 back-to-back transmissions (the Incast / fan-out bottleneck of
+Figs. 19-20), while a binary-tree parent queues only 2.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim.engine import Environment
+from ..sim.resources import Resource, Store
+from .geo import GeoPoint
+from .isp import ISP
+
+__all__ = ["NetworkNode", "DEFAULT_UPLINK_KBPS", "DEFAULT_PROVIDER_UPLINK_KBPS"]
+
+#: Default edge-server uplink, KB/s (a modest 50 Mbit/s share -- the
+#: paper's PlanetLab nodes are far from datacenter-grade).
+DEFAULT_UPLINK_KBPS = 6_250.0
+
+#: Default provider uplink, KB/s.  The paper's provider is itself a
+#: PlanetLab node ("We chose one node in Atlanta as the provider"), so
+#: it gets the same uplink as the servers -- which is exactly why the
+#: unicast star congests at the provider (Figs. 19-20).
+DEFAULT_PROVIDER_UPLINK_KBPS = 6_250.0
+
+
+class NetworkNode:
+    """A host in the simulated network."""
+
+    def __init__(
+        self,
+        env: Environment,
+        node_id: str,
+        point: GeoPoint,
+        isp: ISP,
+        uplink_kbps: float = DEFAULT_UPLINK_KBPS,
+        city_name: Optional[str] = None,
+    ) -> None:
+        if uplink_kbps <= 0:
+            raise ValueError("uplink_kbps must be positive")
+        self.env = env
+        self.node_id = node_id
+        self.point = point
+        self.isp = isp
+        self.uplink_kbps = uplink_kbps
+        self.city_name = city_name
+        #: Output port: transmissions leaving this node serialise here.
+        self.output_port = Resource(env, capacity=1)
+        #: Inbox: the fabric delivers received messages into this store.
+        self.inbox: Store = Store(env)
+        #: Set by failure injection; a down node neither sends nor receives.
+        self.is_up = True
+
+    def __repr__(self) -> str:
+        return "NetworkNode(%s @ %s)" % (self.node_id, self.city_name or self.point)
+
+    def distance_km(self, other: "NetworkNode") -> float:
+        """Great-circle distance to another node."""
+        return self.point.distance_km(other.point)
+
+    def transmission_delay(self, size_kb: float) -> float:
+        """Seconds this node's uplink needs to serialise *size_kb*."""
+        if size_kb < 0:
+            raise ValueError("size_kb must be >= 0")
+        return size_kb / self.uplink_kbps

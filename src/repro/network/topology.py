@@ -1,0 +1,135 @@
+"""Topology builders: place provider / server / user nodes on the globe.
+
+Reproduces the layouts used in the paper:
+
+- Section 4 testbed: one provider in Atlanta plus N geographically
+  distributed servers (mainly U.S. / Europe / Asia), five end-users per
+  server location.
+- Section 3 trace: thousands of servers clustered in metro areas across
+  many ISPs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..sim.engine import Environment
+from ..sim.rng import StreamRegistry
+from .geo import City, CityCatalog, GeoPoint
+from .isp import ISP, ISPRegistry
+from .node import (
+    DEFAULT_PROVIDER_UPLINK_KBPS,
+    DEFAULT_UPLINK_KBPS,
+    NetworkNode,
+)
+
+__all__ = ["Topology", "TopologyBuilder"]
+
+
+@dataclass
+class Topology:
+    """The placed nodes of one simulated deployment."""
+
+    provider: NetworkNode
+    servers: List[NetworkNode] = field(default_factory=list)
+    #: users[i] are the end-user nodes homed at servers[i]'s location.
+    users: List[List[NetworkNode]] = field(default_factory=list)
+
+    def all_nodes(self) -> List[NetworkNode]:
+        nodes = [self.provider] + list(self.servers)
+        for group in self.users:
+            nodes.extend(group)
+        return nodes
+
+    @property
+    def n_servers(self) -> int:
+        return len(self.servers)
+
+
+class TopologyBuilder:
+    """Builds :class:`Topology` objects with deterministic placement."""
+
+    def __init__(
+        self,
+        env: Environment,
+        streams: StreamRegistry,
+        catalog: Optional[CityCatalog] = None,
+        isps: Optional[ISPRegistry] = None,
+    ) -> None:
+        self.env = env
+        self.streams = streams
+        self.catalog = catalog if catalog is not None else CityCatalog()
+        self.isps = isps if isps is not None else ISPRegistry()
+
+    # ------------------------------------------------------------------
+    def make_provider(
+        self,
+        city_name: str = "Atlanta",
+        uplink_kbps: float = DEFAULT_PROVIDER_UPLINK_KBPS,
+    ) -> NetworkNode:
+        """Place the content provider (paper: one node in Atlanta)."""
+        city = self.catalog.by_name(city_name)
+        isp = self.isps.assign(city.region, self.streams.stream("topology.isp"))
+        return NetworkNode(
+            self.env,
+            node_id="provider",
+            point=city.point,
+            isp=isp,
+            uplink_kbps=uplink_kbps,
+            city_name=city.name,
+        )
+
+    def make_server(self, index: int, uplink_kbps: float = DEFAULT_UPLINK_KBPS) -> NetworkNode:
+        """Place one content server at a sampled city."""
+        place_stream = self.streams.stream("topology.place")
+        isp_stream = self.streams.stream("topology.isp")
+        city, point = self.catalog.sample_point(place_stream)
+        isp = self.isps.assign(city.region, isp_stream)
+        return NetworkNode(
+            self.env,
+            node_id="server-%d" % index,
+            point=point,
+            isp=isp,
+            uplink_kbps=uplink_kbps,
+            city_name=city.name,
+        )
+
+    def make_user(self, server: NetworkNode, index: int) -> NetworkNode:
+        """Place an end-user near *server* (same metro, same ISP pool)."""
+        place_stream = self.streams.stream("topology.place")
+        lat = max(-90.0, min(90.0, server.point.lat + place_stream.uniform(-0.1, 0.1)))
+        lon = server.point.lon + place_stream.uniform(-0.1, 0.1)
+        if lon > 180.0:
+            lon -= 360.0
+        elif lon < -180.0:
+            lon += 360.0
+        return NetworkNode(
+            self.env,
+            node_id="%s-user-%d" % (server.node_id, index),
+            point=GeoPoint(lat, lon),
+            isp=server.isp,
+            uplink_kbps=DEFAULT_UPLINK_KBPS,
+            city_name=server.city_name,
+        )
+
+    def build(
+        self,
+        n_servers: int,
+        users_per_server: int = 5,
+        provider_city: str = "Atlanta",
+        provider_uplink_kbps: float = DEFAULT_PROVIDER_UPLINK_KBPS,
+        server_uplink_kbps: float = DEFAULT_UPLINK_KBPS,
+    ) -> Topology:
+        """Build the full Section-4-style deployment."""
+        if n_servers <= 0:
+            raise ValueError("n_servers must be positive")
+        if users_per_server < 0:
+            raise ValueError("users_per_server must be >= 0")
+        provider = self.make_provider(provider_city, provider_uplink_kbps)
+        servers = [self.make_server(i, server_uplink_kbps) for i in range(n_servers)]
+        users = [
+            [self.make_user(server, u) for u in range(users_per_server)]
+            for server in servers
+        ]
+        return Topology(provider=provider, servers=servers, users=users)

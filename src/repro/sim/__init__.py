@@ -1,0 +1,46 @@
+"""Discrete-event simulation substrate.
+
+A deterministic, generator-based simulation kernel in the style of simpy,
+built from scratch because no third-party DES library is available in the
+reproduction environment.  See :mod:`repro.sim.engine` for the core loop.
+"""
+
+from .engine import (
+    EmptySchedule,
+    Environment,
+    Event,
+    NORMAL,
+    SimulationError,
+    StopSimulation,
+    Timeout,
+    URGENT,
+)
+from .process import AllOf, AnyOf, Condition, ConditionValue, Interrupt, Process
+from .resources import PriorityItem, PriorityStore, Release, Request, Resource, Store
+from .rng import RandomStream, StreamRegistry, derive_seed
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "Condition",
+    "ConditionValue",
+    "AllOf",
+    "AnyOf",
+    "Resource",
+    "Request",
+    "Release",
+    "Store",
+    "PriorityStore",
+    "PriorityItem",
+    "RandomStream",
+    "StreamRegistry",
+    "derive_seed",
+    "SimulationError",
+    "EmptySchedule",
+    "StopSimulation",
+    "NORMAL",
+    "URGENT",
+]

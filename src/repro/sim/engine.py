@@ -1,0 +1,303 @@
+"""Core of the discrete-event simulation engine.
+
+The engine is a small, deterministic, generator-based kernel in the style
+of simpy (which is not available in this offline environment).  It provides:
+
+- :class:`Environment` -- the event loop, simulation clock and scheduler.
+- :class:`Event` -- the basic synchronisation primitive.
+- :class:`Timeout` -- an event that fires after a simulated delay.
+
+Determinism: events scheduled for the same simulated time are ordered by
+``(time, priority, sequence)`` where ``sequence`` is a monotonically
+increasing counter, so two runs of the same model with the same seeds
+produce identical event orderings.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable, List, Optional, Union
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "SimulationError",
+    "EmptySchedule",
+    "StopSimulation",
+    "URGENT",
+    "NORMAL",
+]
+
+#: Scheduling priority for events that must run before ordinary events
+#: scheduled at the same time (used internally for process resumption).
+URGENT = 0
+
+#: Default scheduling priority.
+NORMAL = 1
+
+
+class SimulationError(Exception):
+    """Base class for errors raised by the simulation kernel."""
+
+
+class EmptySchedule(SimulationError):
+    """Raised by :meth:`Environment.step` when no more events exist."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to stop :meth:`Environment.run` at a target event."""
+
+    @classmethod
+    def callback(cls, event: "Event") -> None:
+        """Event callback that stops the simulation when *event* fires."""
+        if event.ok:
+            raise cls(event.value)
+        raise event.value  # pragma: no cover - defensive re-raise
+
+
+# Sentinel distinguishing "no value yet" from a legitimate ``None`` value.
+_PENDING = object()
+
+
+class Event:
+    """An event that may happen at some point in simulated time.
+
+    An event has three observable states:
+
+    - *untriggered*: not yet scheduled; ``triggered`` is ``False``.
+    - *triggered*: scheduled with a value; ``triggered`` is ``True``.
+    - *processed*: its callbacks have run; ``processed`` is ``True``.
+
+    Processes wait for events by ``yield``-ing them.  Multiple processes
+    may wait on the same event.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        #: Callbacks ``f(event)`` executed when the event is processed.
+        #: ``None`` once the event has been processed.
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: bool = True
+        self._defused: bool = False
+
+    def __repr__(self) -> str:
+        return "<%s object at 0x%x>" % (type(self).__name__, id(self))
+
+    @property
+    def triggered(self) -> bool:
+        """``True`` if the event has been scheduled (has a value)."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """``True`` if the event's callbacks have already been run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """``True`` if the event succeeded (valid once triggered)."""
+        if not self.triggered:
+            raise AttributeError("value of %r is not yet available" % self)
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (valid once triggered)."""
+        if self._value is _PENDING:
+            raise AttributeError("value of %r is not yet available" % self)
+        return self._value
+
+    @property
+    def defused(self) -> bool:
+        """``True`` if a failed event's exception has been handled."""
+        return self._defused
+
+    @defused.setter
+    def defused(self, value: bool) -> None:
+        self._defused = bool(value)
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger this event with the state of another *event*.
+
+        Used as a callback to chain events together.
+        """
+        self._ok = event._ok
+        self._value = event._value
+        self.env.schedule(self)
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Schedule the event as successful with an optional *value*."""
+        if self.triggered:
+            raise RuntimeError("%r has already been triggered" % self)
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Schedule the event as failed with *exception* as its value."""
+        if self.triggered:
+            raise RuntimeError("%r has already been triggered" % self)
+        if not isinstance(exception, BaseException):
+            raise ValueError("%r is not an exception" % (exception,))
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    def __and__(self, other: "Event") -> "Event":
+        from .process import AllOf
+
+        return AllOf(self.env, [self, other])
+
+    def __or__(self, other: "Event") -> "Event":
+        from .process import AnyOf
+
+        return AnyOf(self.env, [self, other])
+
+
+class Timeout(Event):
+    """An event that fires after ``delay`` units of simulated time."""
+
+    __slots__ = ("_delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError("negative delay %s" % delay)
+        super().__init__(env)
+        self._delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+    def __repr__(self) -> str:
+        return "<Timeout(%s) object at 0x%x>" % (self._delay, id(self))
+
+
+class Environment:
+    """Execution environment: simulation clock plus the event queue."""
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: List[Any] = []  # heap of (time, priority, seq, event)
+        self._eid = 0
+        self._active_proc: Optional[Any] = None
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def active_process(self):
+        """The process currently being resumed (or ``None``)."""
+        return self._active_proc
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none remain."""
+        if not self._queue:
+            return float("inf")
+        return self._queue[0][0]
+
+    # ------------------------------------------------------------------
+    # scheduling / stepping
+    # ------------------------------------------------------------------
+    def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
+        """Schedule *event* ``delay`` time units into the future."""
+        self._eid += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+
+    def step(self) -> None:
+        """Process the next scheduled event.
+
+        Raises :class:`EmptySchedule` when the queue is empty and
+        re-raises the exception of any failed, un-defused event.
+        """
+        try:
+            self._now, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks is None:  # pragma: no cover - cancelled event
+            return
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event._defused:
+            exc = event._value
+            raise exc
+
+    def run(self, until: Union[None, float, Event] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run until the queue drains), a number
+        (run until the clock reaches that time), or an :class:`Event`
+        (run until the event is processed, returning its value).
+        """
+        if until is not None and not isinstance(until, Event):
+            at = float(until)
+            if at <= self._now:
+                raise ValueError(
+                    "until (=%s) must be greater than the current time (=%s)"
+                    % (at, self._now)
+                )
+            until = Event(self)
+            until._ok = True
+            until._value = None
+            # URGENT so the stop event runs before ordinary events at `at`.
+            self._eid += 1
+            heapq.heappush(self._queue, (at, URGENT, self._eid, until))
+
+        if isinstance(until, Event):
+            if until.callbacks is None:
+                return until.value
+            until.callbacks.append(StopSimulation.callback)
+
+        try:
+            while True:
+                self.step()
+        except StopSimulation as stop:
+            return stop.args[0]
+        except EmptySchedule:
+            if isinstance(until, Event) and not until.triggered:
+                raise RuntimeError(
+                    "no scheduled events left but \"until\" event was not triggered"
+                ) from None
+        return None
+
+    # ------------------------------------------------------------------
+    # factories
+    # ------------------------------------------------------------------
+    def event(self) -> Event:
+        """Create a new untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create a :class:`Timeout` firing after *delay*."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator) -> "Any":
+        """Start a new :class:`~repro.sim.process.Process` from *generator*."""
+        from .process import Process
+
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> Event:
+        """Condition that succeeds once all *events* have succeeded."""
+        from .process import AllOf
+
+        return AllOf(self, list(events))
+
+    def any_of(self, events: Iterable[Event]) -> Event:
+        """Condition that succeeds once any of *events* has succeeded."""
+        from .process import AnyOf
+
+        return AnyOf(self, list(events))

@@ -1,0 +1,268 @@
+"""Processes and condition events for the simulation engine.
+
+A *process* wraps a Python generator.  The generator describes the
+behaviour of an actor over simulated time by ``yield``-ing events; the
+process resumes when the yielded event is processed, receiving the
+event's value as the result of the ``yield`` expression (or having the
+event's exception thrown into it if the event failed).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional
+
+from .engine import Environment, Event, NORMAL, URGENT, _PENDING
+
+__all__ = ["Process", "Interrupt", "Condition", "AllOf", "AnyOf", "ConditionValue"]
+
+
+class Interrupt(Exception):
+    """Thrown into a process when :meth:`Process.interrupt` is called."""
+
+    @property
+    def cause(self) -> Any:
+        """The cause passed to :meth:`Process.interrupt`."""
+        return self.args[0]
+
+    def __str__(self) -> str:
+        return "Interrupt(%r)" % (self.cause,)
+
+
+class _Initialize(Event):
+    """Internal event that starts the execution of a new process."""
+
+    __slots__ = ()
+
+    def __init__(self, env: Environment, process: "Process") -> None:
+        super().__init__(env)
+        self.callbacks = [process._resume]
+        self._ok = True
+        self._value = None
+        env.schedule(self, priority=URGENT)
+
+
+class _Interruption(Event):
+    """Internal event delivering an :class:`Interrupt` to a process."""
+
+    __slots__ = ("_process",)
+
+    def __init__(self, process: "Process", cause: Any) -> None:
+        super().__init__(process.env)
+        if process.triggered:
+            raise RuntimeError("%r has terminated and cannot be interrupted" % process)
+        if process is self.env.active_process:
+            raise RuntimeError("a process is not allowed to interrupt itself")
+        self.callbacks = [self._interrupt]
+        self._ok = False
+        self._value = Interrupt(cause)
+        self._defused = True
+        self._process = process
+        self.env.schedule(self, priority=URGENT)
+
+    def _interrupt(self, event: Event) -> None:
+        process = self._process
+        if process.triggered:
+            return  # the process terminated before the interrupt arrived
+        # Detach the process from whatever event it is waiting on so the
+        # interrupt, not the stale event, resumes it.
+        target = process._target
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(process._resume)
+            except ValueError:  # pragma: no cover - already detached
+                pass
+        process._resume(event)
+
+
+class Process(Event):
+    """A process wrapping a generator; it is also an event that fires
+    (with the generator's return value) when the generator terminates."""
+
+    __slots__ = ("_generator", "_target")
+
+    def __init__(self, env: Environment, generator: Generator) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise ValueError("%r is not a generator" % (generator,))
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = _Initialize(env, self)
+
+    def __repr__(self) -> str:
+        return "<Process(%s) object at 0x%x>" % (
+            getattr(self._generator, "__name__", self._generator),
+            id(self),
+        )
+
+    @property
+    def is_alive(self) -> bool:
+        """``True`` until the wrapped generator terminates."""
+        return self._value is _PENDING
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event the process is currently waiting on."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw an :class:`Interrupt` (with *cause*) into the process."""
+        _Interruption(self, cause)
+
+    def _resume(self, event: Event) -> None:
+        """Resume the generator with the state of *event*."""
+        env = self.env
+        env._active_proc = self
+
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    # The process handles (or propagates) the failure.
+                    event._defused = True
+                    exc = event._value
+                    next_event = self._generator.throw(exc)
+            except StopIteration as stop:
+                # Generator finished: the process event succeeds.
+                self._ok = True
+                self._value = getattr(stop, "value", None)
+                env.schedule(self)
+                break
+            except BaseException as exc:
+                # Generator crashed: the process event fails.
+                self._ok = False
+                self._value = exc
+                env.schedule(self)
+                break
+
+            # The generator yielded `next_event`: wait for it.
+            if not isinstance(next_event, Event):
+                exc = RuntimeError(
+                    "invalid yield value %r (expected an Event)" % (next_event,)
+                )
+                event = Event(env)
+                event._ok = False
+                event._value = exc
+                event._defused = True
+                continue
+
+            if next_event.callbacks is not None:
+                # Not yet processed: register and suspend.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                break
+
+            # Already processed: loop around and resume immediately with it.
+            event = next_event
+
+        env._active_proc = None
+
+
+class ConditionValue:
+    """Mapping-like result of a condition: the values of fired events,
+    keyed by the event objects, in trigger order."""
+
+    def __init__(self, events: List[Event]) -> None:
+        self.events = events
+
+    def __getitem__(self, key: Event) -> Any:
+        if key not in self.events:
+            raise KeyError(repr(key))
+        return key._value
+
+    def __contains__(self, key: Event) -> bool:
+        return key in self.events
+
+    def __eq__(self, other: Any) -> bool:
+        if isinstance(other, ConditionValue):
+            return self.todict() == other.todict()
+        if isinstance(other, dict):
+            return self.todict() == other
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return "<ConditionValue %s>" % self.todict()
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def keys(self):
+        return iter(self.events)
+
+    def values(self):
+        return (event._value for event in self.events)
+
+    def items(self):
+        return ((event, event._value) for event in self.events)
+
+    def todict(self) -> dict:
+        return {event: event._value for event in self.events}
+
+
+class Condition(Event):
+    """An event that fires when ``evaluate(events, n_fired)`` is true."""
+
+    __slots__ = ("_evaluate", "_events", "_count")
+
+    def __init__(self, env: Environment, evaluate, events: List[Event]) -> None:
+        super().__init__(env)
+        self._evaluate = evaluate
+        self._events = list(events)
+        self._count = 0
+
+        for event in self._events:
+            if event.env is not env:
+                raise ValueError("events belong to different environments")
+
+        # Evaluate vacuously-true conditions immediately.
+        if self._evaluate(self._events, 0):
+            self.succeed(ConditionValue([]))
+            return
+
+        for event in self._events:
+            if event.callbacks is None:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _fired(self) -> List[Event]:
+        # ``processed`` rather than ``triggered``: a Timeout carries its
+        # value from construction (is "triggered"), but has only *fired*
+        # once the event loop has run its callbacks.
+        return [event for event in self._events if event.processed]
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        self._count += 1
+        if not event._ok:
+            # A failed constituent fails the whole condition.
+            event._defused = True
+            self.fail(event._value)
+        elif self._evaluate(self._events, self._count):
+            self.succeed(ConditionValue(self._fired()))
+
+    @staticmethod
+    def all_events(events: List[Event], count: int) -> bool:
+        return len(events) == count
+
+    @staticmethod
+    def any_events(events: List[Event], count: int) -> bool:
+        return count > 0 or not events
+
+
+class AllOf(Condition):
+    """Condition that fires once all constituent events have fired."""
+
+    __slots__ = ()
+
+    def __init__(self, env: Environment, events: List[Event]) -> None:
+        super().__init__(env, Condition.all_events, events)
+
+
+class AnyOf(Condition):
+    """Condition that fires once any constituent event has fired."""
+
+    __slots__ = ()
+
+    def __init__(self, env: Environment, events: List[Event]) -> None:
+        super().__init__(env, Condition.any_events, events)

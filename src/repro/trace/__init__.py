@@ -1,0 +1,134 @@
+"""Section 3 reproduction: trace synthesis, crawling, and analysis."""
+
+from .analysis import (
+    all_inconsistencies,
+    alpha_times,
+    consistency_ratio,
+    day_inconsistencies,
+    episode_lengths,
+    inconsistent_server_fraction,
+    provider_inconsistencies,
+    server_max_inconsistency,
+    server_mean_inconsistencies,
+)
+from .causes import (
+    DistanceAnalysis,
+    IspClusterResult,
+    absence_impact,
+    consistency_vs_distance,
+    inconsistency_around_absences,
+    isp_inconsistency_analysis,
+    observed_absence_lengths,
+    provider_inconsistency_sample,
+    provider_response_times,
+)
+from .clustering import distance_bands, geo_clusters, isp_clusters
+from .crawler import ClockModel, SkewEstimate
+from .records import CdnTrace, DayTrace, PollSeries, ServerInfo
+from .synthesize import (
+    SynthesisConfig,
+    TraceSynthesizer,
+    UserDaySeries,
+    UserTrace,
+    synthesize_trace,
+)
+from .tree_inference import (
+    TreeEvidence,
+    cluster_daily_means,
+    cluster_mean_spread,
+    max_inconsistency_fractions,
+    normalized_rank_churn,
+    rank_trajectories,
+    tree_existence_analysis,
+)
+from .ttl_inference import (
+    TtlInference,
+    deviation_curve,
+    infer_ttl,
+    refinement_deviation,
+    theory_rmse,
+)
+from .validation import (
+    AbsenceDetectionReport,
+    absence_detection,
+    alpha_bias,
+    ttl_recovery_error,
+)
+from .user_view import (
+    all_continuous_times,
+    continuous_times,
+    daily_inconsistent_server_fractions,
+    inconsistency_vs_poll_interval,
+    observation_flags,
+    redirected_fractions,
+)
+from .workload import BurstSilenceWorkload, LiveGameWorkload, PoissonWorkload
+
+__all__ = [
+    # records
+    "CdnTrace",
+    "DayTrace",
+    "PollSeries",
+    "ServerInfo",
+    # synthesis
+    "SynthesisConfig",
+    "TraceSynthesizer",
+    "synthesize_trace",
+    "UserTrace",
+    "UserDaySeries",
+    "ClockModel",
+    "SkewEstimate",
+    # workloads
+    "LiveGameWorkload",
+    "PoissonWorkload",
+    "BurstSilenceWorkload",
+    # analysis
+    "alpha_times",
+    "episode_lengths",
+    "day_inconsistencies",
+    "all_inconsistencies",
+    "server_mean_inconsistencies",
+    "server_max_inconsistency",
+    "consistency_ratio",
+    "provider_inconsistencies",
+    "inconsistent_server_fraction",
+    # clustering
+    "geo_clusters",
+    "isp_clusters",
+    "distance_bands",
+    # ttl inference
+    "TtlInference",
+    "infer_ttl",
+    "deviation_curve",
+    "refinement_deviation",
+    "theory_rmse",
+    # user view
+    "redirected_fractions",
+    "daily_inconsistent_server_fractions",
+    "observation_flags",
+    "continuous_times",
+    "all_continuous_times",
+    "inconsistency_vs_poll_interval",
+    # causes
+    "provider_inconsistency_sample",
+    "provider_response_times",
+    "DistanceAnalysis",
+    "consistency_vs_distance",
+    "IspClusterResult",
+    "isp_inconsistency_analysis",
+    "observed_absence_lengths",
+    "absence_impact",
+    "inconsistency_around_absences",
+    # tree inference
+    "AbsenceDetectionReport",
+    "absence_detection",
+    "alpha_bias",
+    "ttl_recovery_error",
+    "TreeEvidence",
+    "tree_existence_analysis",
+    "cluster_daily_means",
+    "cluster_mean_spread",
+    "rank_trajectories",
+    "normalized_rank_churn",
+    "max_inconsistency_fractions",
+]

@@ -1,0 +1,213 @@
+"""Core trace estimators (Section 3.1-3.2).
+
+Following the paper: identify each distinct snapshot ``C_i``; let
+``alpha(C_i)`` be the first time ``C_i`` shows up anywhere in the trace
+and ``beta(C_i, s)`` the last time server ``s`` shows it.  The
+*inconsistency length* of ``C_i`` on ``s`` is::
+
+    Delta(C_i, s) = beta(C_i, s) - alpha(C_{i+1})
+
+i.e. how long ``s`` kept serving ``C_i`` after the trace proves the
+successor existed.  Because we poll many servers, ``alpha`` is close to
+the true update time.  Values are clamped at zero (the first server to
+show the successor has no lag by construction).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from .records import CdnTrace, DayTrace, PollSeries
+
+__all__ = [
+    "alpha_times",
+    "episode_lengths",
+    "day_inconsistencies",
+    "all_inconsistencies",
+    "server_mean_inconsistencies",
+    "server_max_inconsistency",
+    "consistency_ratio",
+    "provider_inconsistencies",
+    "inconsistent_server_fraction",
+]
+
+
+def alpha_times(day: DayTrace, server_ids: Optional[Sequence[str]] = None) -> np.ndarray:
+    """First-appearance time of each version across the given servers.
+
+    Returns ``alpha`` with ``alpha[i]`` = first time any considered
+    server showed version ``>= i`` (``i`` in ``1..n_updates``; index 0 is
+    unused and set to 0).  Versions never observed get ``inf``.
+    """
+    n = day.n_updates
+    alpha = np.full(n + 1, np.inf)
+    alpha[0] = 0.0
+    ids = server_ids if server_ids is not None else list(day.polls)
+    for sid in ids:
+        series = day.polls.get(sid)
+        if series is None or not len(series):
+            continue
+        # versions are non-decreasing per server: the first index whose
+        # version >= i gives this server's first sight of >= i.
+        first_idx = np.searchsorted(series.versions, np.arange(1, n + 1), side="left")
+        valid = first_idx < len(series)
+        firsts = np.where(valid, series.times[np.minimum(first_idx, len(series) - 1)], np.inf)
+        alpha[1:] = np.minimum(alpha[1:], firsts)
+    # Enforce monotonicity: version i+1 cannot be provably earlier than i.
+    alpha[1:] = np.maximum.accumulate(alpha[1:])
+    return alpha
+
+
+def episode_lengths(series: PollSeries, alpha: np.ndarray) -> np.ndarray:
+    """Inconsistency lengths of one server's poll series.
+
+    One value per *episode* (a maximal run of one displayed version that
+    has a successor): ``max(0, beta(C_i, s) - alpha(C_{i+1}))``.
+    """
+    if not len(series):
+        return np.empty(0)
+    versions = series.versions
+    times = series.times
+    # Episode boundaries: last index of each run of equal versions.
+    change = np.nonzero(np.diff(versions))[0]
+    last_idx = np.concatenate([change, [len(versions) - 1]])
+    lengths: List[float] = []
+    n_versions = alpha.size - 1
+    for idx in last_idx:
+        version = int(versions[idx])
+        successor = version + 1
+        if successor > n_versions:
+            continue  # newest version of the day: no successor to lag behind
+        a = alpha[successor]
+        if not np.isfinite(a):
+            continue
+        lengths.append(max(0.0, float(times[idx]) - float(a)))
+    return np.asarray(lengths)
+
+
+def day_inconsistencies(
+    day: DayTrace,
+    server_ids: Optional[Sequence[str]] = None,
+    alpha: Optional[np.ndarray] = None,
+) -> Dict[str, np.ndarray]:
+    """Per-server inconsistency-length arrays for one day.
+
+    ``alpha`` may be precomputed (e.g. restricted to a cluster, as in
+    the Fig. 5 / Fig. 9 intra-cluster analyses).
+    """
+    ids = list(server_ids) if server_ids is not None else sorted(day.polls)
+    if alpha is None:
+        alpha = alpha_times(day, ids)
+    return {sid: episode_lengths(day.polls[sid], alpha) for sid in ids if sid in day.polls}
+
+
+def all_inconsistencies(
+    trace: CdnTrace, server_ids: Optional[Sequence[str]] = None
+) -> np.ndarray:
+    """Every inconsistency length in the trace (Fig. 3's sample)."""
+    chunks: List[np.ndarray] = []
+    for day in trace.days:
+        per_server = day_inconsistencies(day, server_ids)
+        chunks.extend(per_server.values())
+    if not chunks:
+        return np.empty(0)
+    return np.concatenate(chunks)
+
+
+def server_mean_inconsistencies(
+    trace: CdnTrace, server_ids: Optional[Sequence[str]] = None
+) -> Dict[str, List[float]]:
+    """server_id -> per-day mean inconsistency length (Fig. 11 input)."""
+    ids = list(server_ids) if server_ids is not None else trace.server_ids()
+    result: Dict[str, List[float]] = {sid: [] for sid in ids}
+    for day in trace.days:
+        per_server = day_inconsistencies(day, ids)
+        for sid in ids:
+            lengths = per_server.get(sid)
+            result[sid].append(float(lengths.mean()) if lengths is not None and lengths.size else 0.0)
+    return result
+
+
+def server_max_inconsistency(
+    day: DayTrace,
+    server_ids: Optional[Sequence[str]] = None,
+    exclude_absent: bool = True,
+) -> Dict[str, float]:
+    """Per-server maximum inconsistency for one day (Fig. 12 input).
+
+    ``exclude_absent`` drops servers with any absence, as the paper does
+    to remove tree-dynamism effects.
+    """
+    ids = list(server_ids) if server_ids is not None else sorted(day.polls)
+    if exclude_absent:
+        ids = [sid for sid in ids if not day.polls[sid].had_absence]
+    per_server = day_inconsistencies(day, ids)
+    return {
+        sid: (float(lengths.max()) if lengths.size else 0.0)
+        for sid, lengths in per_server.items()
+    }
+
+
+def consistency_ratio(trace: CdnTrace, server_id: str) -> float:
+    """Fig. 8's metric: ``1 - sum(inconsistency) / total trace time``."""
+    total_inconsistency = 0.0
+    total_time = 0.0
+    for day in trace.days:
+        series = day.polls.get(server_id)
+        if series is None:
+            continue
+        alpha = alpha_times(day)
+        total_inconsistency += float(episode_lengths(series, alpha).sum())
+        total_time += day.session_length_s
+    if total_time == 0:
+        raise KeyError("server %r has no trace data" % (server_id,))
+    return 1.0 - total_inconsistency / total_time
+
+
+def provider_inconsistencies(trace: CdnTrace) -> np.ndarray:
+    """Staleness episodes of provider-served content (Fig. 7).
+
+    The paper measures the origin pool the same way as the servers; here
+    the provider series is scored against the day's ground-truth update
+    times (the synthetic trace has a single origin series, so a
+    cross-origin ``alpha`` is unavailable -- see DESIGN.md).
+    """
+    chunks: List[np.ndarray] = []
+    for day in trace.days:
+        series = day.provider_polls
+        if series is None or not len(series):
+            continue
+        alpha = np.concatenate([[0.0], day.update_times])
+        chunks.append(episode_lengths(series, alpha))
+    if not chunks:
+        return np.empty(0)
+    return np.concatenate(chunks)
+
+
+def inconsistent_server_fraction(day: DayTrace) -> float:
+    """Average fraction of servers serving stale content per poll round
+    (Fig. 4b).
+
+    A server is stale at crawl time ``t`` if its displayed version's
+    successor had already appeared in the trace by ``t``.
+    """
+    alpha = alpha_times(day)
+    grid = np.arange(0.0, day.session_length_s, 10.0)
+    #: newest version proven to exist by each grid time
+    current = np.searchsorted(alpha[1:], grid, side="right")
+    stale = np.zeros(grid.size, dtype=np.int64)
+    total = np.zeros(grid.size, dtype=np.int64)
+    for series in day.polls.values():
+        if not len(series):
+            continue
+        idx = np.searchsorted(series.times, grid, side="right") - 1
+        observed = idx >= 0
+        versions = series.versions[np.maximum(idx, 0)]
+        total += observed
+        stale += observed & (versions < current)
+    valid = (total > 0) & (current > 0)
+    if not valid.any():
+        return 0.0
+    return float((stale[valid] / total[valid]).mean())

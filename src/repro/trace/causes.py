@@ -1,0 +1,257 @@
+"""Cause-of-inconsistency analyses (Section 3.4, Figs. 7-10).
+
+Each function isolates one candidate cause exactly as the paper does:
+provider-side staleness, provider-server distance, inter-ISP transit,
+provider bandwidth (response times), and server absence
+(overload/failure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..metrics.stats import PercentileSummary, pearson_r, summarize
+from .analysis import (
+    alpha_times,
+    consistency_ratio,
+    day_inconsistencies,
+    episode_lengths,
+    provider_inconsistencies,
+)
+from .clustering import distance_bands, isp_clusters
+from .records import CdnTrace, DayTrace
+
+__all__ = [
+    "provider_inconsistency_sample",
+    "provider_response_times",
+    "DistanceAnalysis",
+    "consistency_vs_distance",
+    "IspClusterResult",
+    "isp_inconsistency_analysis",
+    "observed_absence_lengths",
+    "absence_impact",
+    "inconsistency_around_absences",
+]
+
+
+# ----------------------------------------------------------------------
+# Fig. 7: provider inconsistency
+# ----------------------------------------------------------------------
+def provider_inconsistency_sample(trace: CdnTrace) -> np.ndarray:
+    """Provider-served staleness episodes (delegates to analysis)."""
+    return provider_inconsistencies(trace)
+
+
+# ----------------------------------------------------------------------
+# Fig. 10a: provider response times
+# ----------------------------------------------------------------------
+def provider_response_times(trace: CdnTrace) -> np.ndarray:
+    """All recorded provider response times."""
+    chunks = [day.provider_response_times for day in trace.days]
+    chunks = [c for c in chunks if c.size]
+    if not chunks:
+        return np.empty(0)
+    return np.concatenate(chunks)
+
+
+# ----------------------------------------------------------------------
+# Fig. 8: distance vs consistency ratio
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DistanceAnalysis:
+    """Per-distance-band mean consistency ratios plus the correlation."""
+
+    band_centres_km: Tuple[float, ...]
+    band_mean_ratios: Tuple[float, ...]
+    pearson_r: float
+
+
+def consistency_vs_distance(trace: CdnTrace, band_km: float = 1000.0) -> DistanceAnalysis:
+    """Fig. 8: average consistency ratio per provider-distance band.
+
+    The paper finds essentially no correlation (r = 0.11): propagation
+    delay is a negligible cause.
+    """
+    ratios = {sid: consistency_ratio(trace, sid) for sid in trace.server_ids()}
+    distances = [trace.servers[sid].distance_to_provider_km for sid in trace.server_ids()]
+    values = [ratios[sid] for sid in trace.server_ids()]
+    centres: List[float] = []
+    means: List[float] = []
+    for centre, ids in distance_bands(trace, band_km):
+        centres.append(centre)
+        means.append(float(np.mean([ratios[sid] for sid in ids])))
+    return DistanceAnalysis(
+        band_centres_km=tuple(centres),
+        band_mean_ratios=tuple(means),
+        pearson_r=pearson_r(distances, values),
+    )
+
+
+# ----------------------------------------------------------------------
+# Fig. 9: intra- vs inter-ISP inconsistency
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class IspClusterResult:
+    """One ISP cluster's intra/inter inconsistency summaries."""
+
+    isp: str
+    n_servers: int
+    intra: PercentileSummary
+    inter: PercentileSummary
+
+    @property
+    def increment_mean_s(self) -> float:
+        """By how much inter-ISP measurement exceeds intra (Fig. 9d)."""
+        return self.inter.mean - self.intra.mean
+
+
+def isp_inconsistency_analysis(
+    trace: CdnTrace, min_cluster_size: int = 3
+) -> List[IspClusterResult]:
+    """Fig. 9b-d: per-ISP-cluster intra vs inter inconsistency.
+
+    Intra lengths use ``alpha`` restricted to the cluster's own servers;
+    inter lengths use the earliest appearance among all *other*
+    clusters' servers (the paper's inter-ISP definition).
+    """
+    clusters = isp_clusters(trace, min_size=min_cluster_size)
+    results: List[IspClusterResult] = []
+    for isp, members in sorted(clusters.items()):
+        intra_chunks: List[np.ndarray] = []
+        inter_chunks: List[np.ndarray] = []
+        for day in trace.days:
+            others = [sid for sid in day.polls if sid not in set(members)]
+            alpha_intra = alpha_times(day, members)
+            alpha_inter = alpha_times(day, others) if others else alpha_intra
+            for sid in members:
+                series = day.polls.get(sid)
+                if series is None:
+                    continue
+                intra_chunks.append(episode_lengths(series, alpha_intra))
+                inter_chunks.append(episode_lengths(series, alpha_inter))
+        intra = np.concatenate(intra_chunks) if intra_chunks else np.empty(0)
+        inter = np.concatenate(inter_chunks) if inter_chunks else np.empty(0)
+        if intra.size == 0 or inter.size == 0:
+            continue
+        results.append(
+            IspClusterResult(
+                isp=isp,
+                n_servers=len(members),
+                intra=summarize(intra),
+                inter=summarize(inter),
+            )
+        )
+    return results
+
+
+# ----------------------------------------------------------------------
+# Fig. 10b-d: server absence (overload / failure)
+# ----------------------------------------------------------------------
+def observed_absence_lengths(trace: CdnTrace) -> np.ndarray:
+    """Absence lengths as the crawler observes them (Fig. 10b).
+
+    Two successive responses at ``t_i, t_{i+1}`` imply an absence of
+    ``t_{i+1} - t_i - poll_interval`` (the paper's estimator); gaps of at
+    most one missed poll are noise and ignored.
+    """
+    lengths: List[float] = []
+    threshold = 1.5 * trace.poll_interval_s
+    for day in trace.days:
+        for series in day.polls.values():
+            if len(series) < 2:
+                continue
+            gaps = np.diff(series.times)
+            for gap in gaps[gaps > threshold]:
+                lengths.append(float(gap - trace.poll_interval_s))
+    return np.asarray(lengths)
+
+
+def _first_record_after(series, t: float) -> Optional[int]:
+    idx = int(np.searchsorted(series.times, t, side="left"))
+    if idx >= len(series):
+        return None
+    return idx
+
+
+def absence_impact(
+    trace: CdnTrace, bin_width_s: float = 50.0, max_absence_s: float = 400.0
+) -> Dict[float, float]:
+    """Fig. 10c: average inconsistency length vs absence length.
+
+    For each absence, the scored value is the inconsistency length of
+    the episode containing the first response after the server returns.
+    Bin 0.0 holds the baseline: mean inconsistency of server-days with
+    no absence at all.
+    """
+    binned: Dict[float, List[float]] = {0.0: []}
+    for day in trace.days:
+        alpha = alpha_times(day)
+        for series in day.polls.values():
+            lengths = episode_lengths(series, alpha)
+            if not series.absences:
+                if lengths.size:
+                    binned[0.0].append(float(lengths.mean()))
+                continue
+            for start, duration in series.absences:
+                if duration > max_absence_s:
+                    continue
+                idx = _first_record_after(series, start + duration)
+                if idx is None:
+                    continue
+                value = _episode_length_at(series, idx, alpha)
+                if value is None:
+                    continue
+                bin_centre = (int(duration // bin_width_s) + 0.5) * bin_width_s
+                binned.setdefault(bin_centre, []).append(value)
+    return {
+        centre: float(np.mean(values))
+        for centre, values in sorted(binned.items())
+        if values
+    }
+
+
+def _episode_length_at(series, index: int, alpha: np.ndarray) -> Optional[float]:
+    """Inconsistency length of the episode covering record *index*."""
+    version = int(series.versions[index])
+    successor = version + 1
+    if successor >= alpha.size or not np.isfinite(alpha[successor]):
+        return None
+    # beta: last record still showing `version`.
+    later = series.versions[index:]
+    run_end = index + int(np.searchsorted(later, version, side="right")) - 1
+    return max(0.0, float(series.times[run_end]) - float(alpha[successor]))
+
+
+def inconsistency_around_absences(
+    trace: CdnTrace,
+    offsets_s: Sequence[float] = (20.0, 40.0, 60.0),
+    group_width_s: float = 100.0,
+    max_absence_s: float = 400.0,
+) -> Dict[Tuple[float, float], float]:
+    """Fig. 10d: mean episode inconsistency within +/- *offset* of an
+    absence, grouped by absence length.
+
+    Returns ``{(group upper bound, offset): mean length}``; smaller
+    offsets (closer to the absence) show larger inconsistency.
+    """
+    collected: Dict[Tuple[float, float], List[float]] = {}
+    for day in trace.days:
+        alpha = alpha_times(day)
+        for series in day.polls.values():
+            for start, duration in series.absences:
+                if duration > max_absence_s:
+                    continue
+                group = (int(duration // group_width_s) + 1) * group_width_s
+                for offset in offsets_s:
+                    lo, hi = start - offset, start + duration + offset
+                    mask = (series.times >= lo) & (series.times <= hi)
+                    for idx in np.nonzero(mask)[0]:
+                        value = _episode_length_at(series, int(idx), alpha)
+                        if value is not None:
+                            collected.setdefault((group, offset), []).append(value)
+    return {
+        key: float(np.mean(values)) for key, values in sorted(collected.items()) if values
+    }

@@ -1,0 +1,60 @@
+"""Grouping trace servers for the Section 3 cluster analyses.
+
+The paper clusters servers two ways: geographically ("grouped the
+servers with the same longitude and latitude into a cluster", via an IP
+geolocation service) and by ISP (validated with traceroute).  The
+synthetic trace stores both labels in :class:`ServerInfo`, so clustering
+is a grouping of ids, with helpers for distance-based grouping (Fig. 8).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .records import CdnTrace
+
+__all__ = [
+    "geo_clusters",
+    "isp_clusters",
+    "distance_bands",
+    "clusters_of_min_size",
+]
+
+
+def geo_clusters(trace: CdnTrace, min_size: int = 1) -> Dict[str, List[str]]:
+    """Geographic (metro) cluster -> server ids, dropping tiny clusters."""
+    return clusters_of_min_size(trace.servers_by_cluster(), min_size)
+
+
+def isp_clusters(trace: CdnTrace, min_size: int = 1) -> Dict[str, List[str]]:
+    """ISP cluster -> server ids, dropping tiny clusters."""
+    return clusters_of_min_size(trace.servers_by_isp(), min_size)
+
+
+def clusters_of_min_size(
+    clusters: Dict[str, List[str]], min_size: int
+) -> Dict[str, List[str]]:
+    if min_size <= 1:
+        return dict(clusters)
+    return {name: ids for name, ids in clusters.items() if len(ids) >= min_size}
+
+
+def distance_bands(
+    trace: CdnTrace, band_km: float = 1000.0
+) -> List[Tuple[float, List[str]]]:
+    """Group servers by provider distance (Fig. 8's x-axis).
+
+    Returns ``(band centre km, server ids)`` for each non-empty band.
+    """
+    if band_km <= 0:
+        raise ValueError("band_km must be positive")
+    bands: Dict[int, List[str]] = {}
+    for sid, info in trace.servers.items():
+        index = int(info.distance_to_provider_km // band_km)
+        bands.setdefault(index, []).append(sid)
+    return [
+        ((index + 0.5) * band_km, sorted(ids))
+        for index, ids in sorted(bands.items())
+    ]

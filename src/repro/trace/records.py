@@ -1,0 +1,238 @@
+"""Trace data model.
+
+A :class:`CdnTrace` holds everything the Section 3 analyses consume:
+
+- per server: static metadata (location, ISP, geographic cluster,
+  distance to the provider);
+- per (day, server): the crawler's poll series -- timestamps and the
+  snapshot version observed at each poll (numpy arrays, one poll per
+  ~10 s as in the paper) -- plus any absence intervals;
+- per day: the ground-truth update times of that day's game and the
+  provider-side poll series (Fig. 7 / Fig. 10a).
+
+The estimators deliberately consume only what a real crawl could
+observe (timestamps + snapshot identities); ground truth is kept solely
+for validating the estimators themselves.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..network.geo import GeoPoint
+
+__all__ = ["ServerInfo", "PollSeries", "DayTrace", "CdnTrace"]
+
+
+@dataclass(frozen=True)
+class ServerInfo:
+    """Static metadata for one crawled content server."""
+
+    server_id: str
+    point: GeoPoint
+    isp: str
+    geo_cluster: str
+    distance_to_provider_km: float
+
+
+@dataclass
+class PollSeries:
+    """One server's poll series for one day."""
+
+    times: np.ndarray      # seconds from session start, sorted
+    versions: np.ndarray   # snapshot index observed at each poll
+    #: (start, duration) absence intervals (no responses inside them).
+    absences: List[Tuple[float, float]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.times = np.asarray(self.times, dtype=float)
+        self.versions = np.asarray(self.versions, dtype=np.int64)
+        if self.times.shape != self.versions.shape:
+            raise ValueError("times and versions must have equal length")
+        if self.times.size and np.any(np.diff(self.times) < 0):
+            raise ValueError("poll times must be sorted")
+
+    def __len__(self) -> int:
+        return int(self.times.size)
+
+    @property
+    def had_absence(self) -> bool:
+        return bool(self.absences)
+
+    def version_at(self, t: float) -> int:
+        """Observed version at the last poll at or before *t*."""
+        idx = int(np.searchsorted(self.times, t, side="right")) - 1
+        if idx < 0:
+            return 0
+        return int(self.versions[idx])
+
+
+@dataclass
+class DayTrace:
+    """All observations from one crawl day (one game)."""
+
+    day_index: int
+    session_length_s: float
+    #: Ground truth: update times of that day's game.
+    update_times: np.ndarray
+    #: server_id -> the crawler's poll series.
+    polls: Dict[str, PollSeries] = field(default_factory=dict)
+    #: Provider-side poll series (near-fresh; Fig. 7).
+    provider_polls: Optional[PollSeries] = None
+    #: Response times of provider requests, seconds (Fig. 10a).
+    provider_response_times: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=float)
+    )
+
+    def __post_init__(self) -> None:
+        self.update_times = np.asarray(self.update_times, dtype=float)
+        self.provider_response_times = np.asarray(
+            self.provider_response_times, dtype=float
+        )
+
+    @property
+    def n_updates(self) -> int:
+        return int(self.update_times.size)
+
+
+@dataclass
+class CdnTrace:
+    """A complete synthesized (or loaded) multi-day CDN crawl."""
+
+    servers: Dict[str, ServerInfo]
+    days: List[DayTrace]
+    poll_interval_s: float = 10.0
+    ttl_s: float = 60.0  # the planted TTL; estimators must *recover* it
+
+    @property
+    def n_servers(self) -> int:
+        return len(self.servers)
+
+    @property
+    def n_days(self) -> int:
+        return len(self.days)
+
+    def server_ids(self) -> List[str]:
+        return sorted(self.servers)
+
+    def servers_by_cluster(self) -> Dict[str, List[str]]:
+        """Geographic cluster name -> member server ids."""
+        clusters: Dict[str, List[str]] = {}
+        for server_id, info in self.servers.items():
+            clusters.setdefault(info.geo_cluster, []).append(server_id)
+        for members in clusters.values():
+            members.sort()
+        return clusters
+
+    def servers_by_isp(self) -> Dict[str, List[str]]:
+        """ISP name -> member server ids."""
+        isps: Dict[str, List[str]] = {}
+        for server_id, info in self.servers.items():
+            isps.setdefault(info.isp, []).append(server_id)
+        for members in isps.values():
+            members.sort()
+        return isps
+
+    def total_polls(self) -> int:
+        return sum(len(series) for day in self.days for series in day.polls.values())
+
+    # ------------------------------------------------------------------
+    # (de)serialisation -- JSON, for the examples and offline inspection
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "poll_interval_s": self.poll_interval_s,
+            "ttl_s": self.ttl_s,
+            "servers": {
+                sid: {
+                    "lat": info.point.lat,
+                    "lon": info.point.lon,
+                    "isp": info.isp,
+                    "geo_cluster": info.geo_cluster,
+                    "distance_km": info.distance_to_provider_km,
+                }
+                for sid, info in self.servers.items()
+            },
+            "days": [
+                {
+                    "day_index": day.day_index,
+                    "session_length_s": day.session_length_s,
+                    "update_times": day.update_times.tolist(),
+                    "provider_response_times": day.provider_response_times.tolist(),
+                    "provider_polls": _series_to_dict(day.provider_polls),
+                    "polls": {
+                        sid: _series_to_dict(series)
+                        for sid, series in day.polls.items()
+                    },
+                }
+                for day in self.days
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CdnTrace":
+        servers = {
+            sid: ServerInfo(
+                server_id=sid,
+                point=GeoPoint(raw["lat"], raw["lon"]),
+                isp=raw["isp"],
+                geo_cluster=raw["geo_cluster"],
+                distance_to_provider_km=raw["distance_km"],
+            )
+            for sid, raw in data["servers"].items()
+        }
+        days = []
+        for raw_day in data["days"]:
+            day = DayTrace(
+                day_index=raw_day["day_index"],
+                session_length_s=raw_day["session_length_s"],
+                update_times=np.asarray(raw_day["update_times"], dtype=float),
+                provider_polls=_series_from_dict(raw_day.get("provider_polls")),
+                provider_response_times=np.asarray(
+                    raw_day.get("provider_response_times", []), dtype=float
+                ),
+            )
+            day.polls = {
+                sid: _series_from_dict(raw)
+                for sid, raw in raw_day["polls"].items()
+            }
+            days.append(day)
+        return cls(
+            servers=servers,
+            days=days,
+            poll_interval_s=data.get("poll_interval_s", 10.0),
+            ttl_s=data.get("ttl_s", 60.0),
+        )
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle)
+
+    @classmethod
+    def load(cls, path: str) -> "CdnTrace":
+        with open(path) as handle:
+            return cls.from_dict(json.load(handle))
+
+
+def _series_to_dict(series: Optional[PollSeries]) -> Optional[dict]:
+    if series is None:
+        return None
+    return {
+        "times": series.times.tolist(),
+        "versions": series.versions.tolist(),
+        "absences": list(series.absences),
+    }
+
+
+def _series_from_dict(raw: Optional[dict]) -> Optional[PollSeries]:
+    if raw is None:
+        return None
+    return PollSeries(
+        times=np.asarray(raw["times"], dtype=float),
+        versions=np.asarray(raw["versions"], dtype=np.int64),
+        absences=[tuple(item) for item in raw.get("absences", [])],
+    )

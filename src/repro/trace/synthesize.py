@@ -1,0 +1,501 @@
+"""Generative model of the crawled CDN trace (the paper's Section 3 data).
+
+The real trace is unavailable, so we synthesize one with the causal
+structure the paper's measurement attributes to the CDN:
+
+- every content server refreshes by **TTL polling the provider over
+  unicast** (the infrastructure Section 3.5/3.6 deduces), TTL = 60 s,
+  with an independent random phase per server per day;
+- an update becomes *available* to a server only after: the provider's
+  own small staleness (Sec 3.4.2), the fetch/propagation delay
+  (Sec 3.4.3-3.4.4), and an extra inter-ISP transit delay for servers
+  outside the provider's ISP (Sec 3.4.3);
+- servers suffer occasional *absences* (overload / failure / reboot,
+  Sec 3.4.5) during which they neither refresh nor answer the crawler,
+  and polls shortly before/after an absence are flaky;
+- the crawler polls every server each ``poll_interval_s`` (10 s) for a
+  ``session_length_s`` (2.5 h) session per day, over ``n_days`` (15)
+  days, and corrects server clock skew by the RTT/2 method (Sec 3.1),
+  leaving a small residual timestamp error.
+
+All series are produced with vectorised numpy, so synthesizing millions
+of poll records takes seconds; a small-scale discrete-event cross-check
+lives in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..network.geo import City, CityCatalog, GeoPoint, haversine_km
+from ..sim.rng import RandomStream, StreamRegistry
+from .crawler import ClockModel
+from .records import CdnTrace, DayTrace, PollSeries, ServerInfo
+from .workload import LiveGameWorkload
+
+__all__ = [
+    "SynthesisConfig",
+    "TraceSynthesizer",
+    "UserDaySeries",
+    "UserTrace",
+    "synthesize_trace",
+]
+
+
+@dataclass
+class SynthesisConfig:
+    """Tunables of the generative trace model.
+
+    Defaults are scaled down ~10x from the paper (3,000 servers,
+    15 days) to keep the default run laptop-fast; the benchmarks scale
+    back up where it matters.
+    """
+
+    n_servers: int = 300
+    n_days: int = 15
+    session_length_s: float = 9000.0   # 2.5 h of crawling per day
+    poll_interval_s: float = 10.0
+    ttl_s: float = 60.0                # the planted TTL (to be recovered)
+
+    # --- update workload ------------------------------------------------
+    #: Per-day snapshot counts.  Most crawl days are sparser than the
+    #: Section 4 reference game (306 snapshots in 2.5 h): with typical
+    #: inter-update gaps longer than the TTL, each server installs each
+    #: version within one TTL window of its first appearance and the
+    #: inconsistency CDF is near-linear on [0, TTL] (Fig. 5b); dense game
+    #: days mix in a sub-TTL bell component.
+    updates_per_day_low: int = 35
+    updates_per_day_high: int = 160
+    #: Fraction of the crawl session the game's activity occupies.  The
+    #: crawler watches 2.5 h around each game; updates stop well before
+    #: the session does, which is what keeps the instantaneous stale-
+    #: server fraction (Fig. 4b) far below the in-play staleness.
+    game_coverage: float = 0.55
+
+    # --- provider behaviour ----------------------------------------------
+    provider_staleness_mean_s: float = 3.4     # Fig. 7: mean 3.43 s
+    provider_response_base_s: float = 0.5      # Fig. 10a: range [0.5, 2.1]
+    provider_response_mean_extra_s: float = 0.45
+    provider_response_max_s: float = 2.1
+
+    # --- network ----------------------------------------------------------
+    fetch_delay_low_s: float = 0.05
+    fetch_delay_high_s: float = 0.8
+    propagation_s_per_km: float = 1.0 / 200_000.0
+    #: Per-ISP inter-domain severity: a server whose ISP differs from the
+    #: provider's gets a per-update extra delay ~ U[0, severity].
+    #: ISPs are heterogeneous (Sec 3.4.3 finds per-cluster inter-ISP
+    #: increments spanning [3.69, 23.2] s): most ISPs have benign transit,
+    #: a congested minority carries the tail -- which is also what keeps
+    #: the majority of servers' *maximum* inconsistency below one TTL
+    #: (Fig. 12: 76.7% / 86.9%).
+    congested_isp_prob: float = 0.30
+    clean_isp_severity_low_s: float = 0.5
+    clean_isp_severity_high_s: float = 5.0
+    congested_isp_severity_low_s: float = 20.0
+    congested_isp_severity_high_s: float = 55.0
+
+    # --- server failures / overload ---------------------------------------
+    absence_prob_per_day: float = 0.10
+    #: Absence-duration mixture (Fig. 10b: 30.4% < 10 s, 93.1% < 50 s,
+    #: range [1, 500] s).
+    absence_short_frac: float = 0.304
+    absence_mid_frac: float = 0.627
+    absence_max_s: float = 500.0
+    #: Polls within this window around an absence fail with
+    #: ``flaky_poll_prob`` (Fig. 10d: inconsistency rises near absences).
+    absence_flaky_window_s: float = 40.0
+    flaky_poll_prob: float = 0.35
+
+    # --- crawler -----------------------------------------------------------
+    clock_skew_sigma_s: float = 2.0
+    rtt_asymmetry_sigma_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.n_servers <= 0 or self.n_days <= 0:
+            raise ValueError("n_servers and n_days must be positive")
+        if self.poll_interval_s <= 0 or self.ttl_s <= 0:
+            raise ValueError("poll_interval_s and ttl_s must be positive")
+        if not 0 < self.updates_per_day_low <= self.updates_per_day_high:
+            raise ValueError("invalid updates_per_day range")
+        if not 0.0 < self.game_coverage <= 1.0:
+            raise ValueError("game_coverage must be in (0, 1]")
+        if not 0.0 <= self.absence_prob_per_day <= 1.0:
+            raise ValueError("absence_prob_per_day must be a probability")
+        if self.absence_short_frac + self.absence_mid_frac > 1.0:
+            raise ValueError("absence mixture fractions exceed 1")
+
+
+@dataclass
+class UserDaySeries:
+    """One simulated end user's visit series for one day (Fig. 4)."""
+
+    times: np.ndarray
+    versions: np.ndarray
+    server_ids: List[str]
+
+    def __len__(self) -> int:
+        return int(self.times.size)
+
+    def redirected_fraction(self) -> float:
+        """Fraction of visits served by a different server than the
+        previous visit (Fig. 4a)."""
+        if len(self.server_ids) < 2:
+            return 0.0
+        switches = sum(
+            1 for a, b in zip(self.server_ids, self.server_ids[1:]) if a != b
+        )
+        return switches / (len(self.server_ids) - 1)
+
+
+@dataclass
+class UserTrace:
+    """All simulated user observations (per user, per day)."""
+
+    users: Dict[str, List[UserDaySeries]]
+    poll_interval_s: float
+
+    @property
+    def n_users(self) -> int:
+        return len(self.users)
+
+
+class _ServerModel:
+    """Per-server latent parameters (fixed across days)."""
+
+    def __init__(
+        self,
+        info: ServerInfo,
+        inter_isp_severity_s: float,
+        propagation_s: float,
+    ) -> None:
+        self.info = info
+        self.inter_isp_severity_s = inter_isp_severity_s
+        self.propagation_s = propagation_s
+
+
+class TraceSynthesizer:
+    """Builds a :class:`CdnTrace` (and user observations) from the model."""
+
+    PROVIDER_CITY = "Atlanta"
+
+    def __init__(self, config: Optional[SynthesisConfig] = None, master_seed: int = 0) -> None:
+        self.config = config if config is not None else SynthesisConfig()
+        self.streams = StreamRegistry(master_seed)
+        self.catalog = CityCatalog()
+        self._provider_point = self.catalog.by_name(self.PROVIDER_CITY).point
+        self._provider_isp = "%s-transit" % self.PROVIDER_CITY
+        self._clock = ClockModel(
+            self.streams.stream("trace.clock"),
+            skew_sigma_s=self.config.clock_skew_sigma_s,
+            rtt_asymmetry_sigma_s=self.config.rtt_asymmetry_sigma_s,
+        )
+        self._servers = self._place_servers()
+
+    # ------------------------------------------------------------------
+    # placement
+    # ------------------------------------------------------------------
+    def _place_servers(self) -> List[_ServerModel]:
+        place = self.streams.stream("trace.place")
+        isp_stream = self.streams.stream("trace.isp")
+        severity_stream = self.streams.stream("trace.isp.severity")
+        cfg = self.config
+
+        #: severity per ISP (shared by all its servers), provider ISP = 0
+        isp_severity: Dict[str, float] = {self._provider_isp: 0.0}
+        servers: List[_ServerModel] = []
+        for index in range(cfg.n_servers):
+            city, point = self.catalog.sample_point(place)
+            # A few ISPs per region; ~10% of servers share the provider ISP.
+            if isp_stream.bernoulli(0.10):
+                isp = self._provider_isp
+            else:
+                isp = "%s-isp-%d" % (city.region, isp_stream.randint(0, 5))
+            if isp not in isp_severity:
+                if severity_stream.bernoulli(cfg.congested_isp_prob):
+                    isp_severity[isp] = severity_stream.uniform(
+                        cfg.congested_isp_severity_low_s, cfg.congested_isp_severity_high_s
+                    )
+                else:
+                    isp_severity[isp] = severity_stream.uniform(
+                        cfg.clean_isp_severity_low_s, cfg.clean_isp_severity_high_s
+                    )
+            distance = haversine_km(point, self._provider_point)
+            info = ServerInfo(
+                server_id="server-%04d" % index,
+                point=point,
+                isp=isp,
+                geo_cluster=city.name,
+                distance_to_provider_km=distance,
+            )
+            servers.append(
+                _ServerModel(
+                    info,
+                    inter_isp_severity_s=isp_severity[isp],
+                    propagation_s=distance * cfg.propagation_s_per_km * 1.3,
+                )
+            )
+        return servers
+
+    # ------------------------------------------------------------------
+    # main synthesis
+    # ------------------------------------------------------------------
+    def synthesize(self) -> CdnTrace:
+        cfg = self.config
+        days: List[DayTrace] = []
+        for day_index in range(cfg.n_days):
+            days.append(self._synthesize_day(day_index))
+        return CdnTrace(
+            servers={model.info.server_id: model.info for model in self._servers},
+            days=days,
+            poll_interval_s=cfg.poll_interval_s,
+            ttl_s=cfg.ttl_s,
+        )
+
+    def _day_updates(self, day_index: int) -> np.ndarray:
+        cfg = self.config
+        count_stream = self.streams.stream("trace.updates.count")
+        n_updates = count_stream.randint(cfg.updates_per_day_low, cfg.updates_per_day_high)
+        workload = LiveGameWorkload(
+            n_updates=n_updates,
+            duration_s=cfg.game_coverage * min(8760.0, cfg.session_length_s),
+        )
+        times = workload.generate(self.streams.stream("trace.updates.day%d" % day_index))
+        return np.asarray(times, dtype=float)
+
+    def _synthesize_day(self, day_index: int) -> DayTrace:
+        cfg = self.config
+        updates = self._day_updates(day_index)
+        n_updates = updates.size
+
+        lag_stream = self.streams.stream("trace.provider.lag.day%d" % day_index)
+        provider_lag = np.asarray(
+            [lag_stream.expovariate(1.0 / cfg.provider_staleness_mean_s) for _ in range(n_updates)]
+        )
+        #: Time each update is visible *at the provider's edge* (shared
+        #: component of all servers' availability).
+        provider_avail = updates + provider_lag
+
+        day = DayTrace(
+            day_index=day_index,
+            session_length_s=cfg.session_length_s,
+            update_times=updates,
+        )
+        day.provider_polls = self._provider_series(day_index, updates, provider_avail)
+        day.provider_response_times = self._provider_response_times(day_index)
+
+        for model in self._servers:
+            day.polls[model.info.server_id] = self._server_series(
+                day_index, model, provider_avail
+            )
+        return day
+
+    # ------------------------------------------------------------------
+    def _provider_series(
+        self, day_index: int, updates: np.ndarray, provider_avail: np.ndarray
+    ) -> PollSeries:
+        cfg = self.config
+        crawl_times = np.arange(0.0, cfg.session_length_s, cfg.poll_interval_s)
+        # max version visible at t (availability may be slightly out of
+        # order because provider lags are independent).
+        b = _min_from_right(provider_avail)
+        versions = np.searchsorted(b, crawl_times, side="right")
+        return PollSeries(times=crawl_times, versions=versions)
+
+    def _provider_response_times(self, day_index: int) -> np.ndarray:
+        cfg = self.config
+        stream = self.streams.stream("trace.provider.resp.day%d" % day_index)
+        n = int(cfg.session_length_s / cfg.poll_interval_s)
+        extra_cap = cfg.provider_response_max_s - cfg.provider_response_base_s
+        samples = [
+            cfg.provider_response_base_s
+            + min(extra_cap, stream.expovariate(1.0 / cfg.provider_response_mean_extra_s))
+            for _ in range(n)
+        ]
+        return np.asarray(samples, dtype=float)
+
+    # ------------------------------------------------------------------
+    def _server_series(
+        self, day_index: int, model: _ServerModel, provider_avail: np.ndarray
+    ) -> PollSeries:
+        cfg = self.config
+        sid = model.info.server_id
+        stream = self.streams.stream("trace.server.%s.day%d" % (sid, day_index))
+        n_updates = provider_avail.size
+
+        # Per-update availability at this server.
+        fetch_delay = np.asarray(
+            [stream.uniform(cfg.fetch_delay_low_s, cfg.fetch_delay_high_s) for _ in range(n_updates)]
+        )
+        if model.inter_isp_severity_s > 0:
+            isp_delay = np.asarray(
+                [stream.uniform(0.0, model.inter_isp_severity_s) for _ in range(n_updates)]
+            )
+        else:
+            isp_delay = np.zeros(n_updates)
+        avail = provider_avail + model.propagation_s + fetch_delay + isp_delay
+        b = _min_from_right(avail)
+
+        # TTL refresh grid with a random phase (lazy TTL + a crawler poll
+        # every 10 s keeps the cache hot, so refreshes happen each TTL).
+        phase = stream.uniform(0.0, cfg.ttl_s)
+        poll_times = np.arange(phase, cfg.session_length_s, cfg.ttl_s)
+
+        # Absences: refreshes and crawler polls inside are lost; polls in
+        # the flanking window are flaky.  Lazy-TTL semantics on return:
+        # the cache has expired during any non-trivial absence, so the
+        # first request after it triggers an immediate refetch (which is
+        # why the paper's Fig. 10c shows only a modest staleness bump,
+        # not staleness proportional to the absence length).
+        absences = self._sample_absences(stream)
+        keep = np.ones(poll_times.size, dtype=bool)
+        recovery_polls = []
+        for start, duration in absences:
+            inside = (poll_times >= start) & (poll_times < start + duration)
+            keep &= ~inside
+            flank = (
+                (poll_times >= start - cfg.absence_flaky_window_s)
+                & (poll_times < start + duration + cfg.absence_flaky_window_s)
+                & ~inside
+            )
+            for idx in np.nonzero(flank)[0]:
+                if stream.bernoulli(cfg.flaky_poll_prob):
+                    keep[idx] = False
+            if duration >= cfg.ttl_s / 4.0 and start + duration < cfg.session_length_s:
+                # refetch fires with the first request after return,
+                # i.e. essentially at the moment service resumes
+                recovery_polls.append(start + duration)
+        poll_times = poll_times[keep]
+        if recovery_polls:
+            poll_times = np.sort(np.concatenate([poll_times, recovery_polls]))
+        poll_versions = np.searchsorted(b, poll_times, side="right")
+
+        # Crawler records: every poll_interval_s with a per-server phase
+        # (each PlanetLab observer started independently), skipping
+        # absences.
+        crawl_phase = stream.uniform(0.0, cfg.poll_interval_s)
+        crawl_times = np.arange(crawl_phase, cfg.session_length_s, cfg.poll_interval_s)
+        crawl_keep = np.ones(crawl_times.size, dtype=bool)
+        for start, duration in absences:
+            crawl_keep &= ~((crawl_times >= start) & (crawl_times < start + duration))
+        crawl_times = crawl_times[crawl_keep]
+
+        if poll_times.size:
+            last_poll_idx = np.searchsorted(poll_times, crawl_times, side="right") - 1
+            crawl_versions = np.where(
+                last_poll_idx >= 0, poll_versions[np.maximum(last_poll_idx, 0)], 0
+            )
+        else:
+            crawl_versions = np.zeros(crawl_times.size, dtype=np.int64)
+
+        # Clock skew: stamp with the server clock, then correct (Sec 3.1),
+        # leaving the RTT-asymmetry residual.
+        estimate = self._clock.sample()
+        crawl_times = self._clock.correct_timestamps(
+            self._clock.skew_timestamps(crawl_times, estimate), estimate
+        )
+
+        return PollSeries(
+            times=crawl_times,
+            versions=crawl_versions.astype(np.int64),
+            absences=absences,
+        )
+
+    def _sample_absences(self, stream: RandomStream) -> List[Tuple[float, float]]:
+        cfg = self.config
+        if not stream.bernoulli(cfg.absence_prob_per_day):
+            return []
+        start = stream.uniform(0.0, cfg.session_length_s * 0.9)
+        u = stream.random()
+        if u < cfg.absence_short_frac:
+            duration = stream.uniform(1.0, 10.0)
+        elif u < cfg.absence_short_frac + cfg.absence_mid_frac:
+            duration = stream.uniform(10.0, 50.0)
+        else:
+            # Long tail: log-uniform in [50, absence_max_s].
+            duration = 50.0 * (cfg.absence_max_s / 50.0) ** stream.random()
+        return [(start, duration)]
+
+    # ------------------------------------------------------------------
+    # user-view simulation (Fig. 4 / Fig. 24 trace analogue)
+    # ------------------------------------------------------------------
+    def synthesize_users(
+        self,
+        trace: CdnTrace,
+        n_users: int = 200,
+        poll_interval_s: Optional[float] = None,
+        dns_ttl_low_s: float = 40.0,
+        dns_ttl_high_s: float = 80.0,
+        candidates_low: int = 3,
+        candidates_high: int = 5,
+    ) -> UserTrace:
+        """Simulate end users polling through DNS redirection (Sec 3.3)."""
+        if n_users <= 0:
+            raise ValueError("n_users must be positive")
+        interval = poll_interval_s if poll_interval_s is not None else trace.poll_interval_s
+        place = self.streams.stream("trace.user.place")
+        dns_stream = self.streams.stream("trace.user.dns")
+
+        server_infos = [trace.servers[sid] for sid in trace.server_ids()]
+        users: Dict[str, List[UserDaySeries]] = {}
+        for user_index in range(n_users):
+            _, point = self.catalog.sample_point(place)
+            ranked = sorted(
+                server_infos, key=lambda info: haversine_km(point, info.point)
+            )
+            k = dns_stream.randint(candidates_low, candidates_high)
+            candidates = [info.server_id for info in ranked[:k]]
+            user_days: List[UserDaySeries] = []
+            for day in trace.days:
+                user_days.append(
+                    self._user_day(
+                        day, candidates, interval, dns_stream, dns_ttl_low_s, dns_ttl_high_s
+                    )
+                )
+            users["user-%03d" % user_index] = user_days
+        return UserTrace(users=users, poll_interval_s=interval)
+
+    def _user_day(
+        self,
+        day: DayTrace,
+        candidates: Sequence[str],
+        interval: float,
+        dns_stream: RandomStream,
+        dns_ttl_low_s: float,
+        dns_ttl_high_s: float,
+    ) -> UserDaySeries:
+        times = np.arange(0.0, day.session_length_s, interval)
+        versions = np.zeros(times.size, dtype=np.int64)
+        server_ids: List[str] = []
+        current = dns_stream.choice(list(candidates))
+        lease_until = dns_stream.uniform(dns_ttl_low_s, dns_ttl_high_s)
+        for i, t in enumerate(times):
+            if t >= lease_until:
+                current = dns_stream.choice(list(candidates))
+                lease_until = t + dns_stream.uniform(dns_ttl_low_s, dns_ttl_high_s)
+            series = day.polls.get(current)
+            versions[i] = series.version_at(float(t)) if series is not None else 0
+            server_ids.append(current)
+        return UserDaySeries(times=times, versions=versions, server_ids=server_ids)
+
+
+def _min_from_right(values: np.ndarray) -> np.ndarray:
+    """``b[i] = min(values[i:])``: the time by which version >= i+1 exists.
+
+    Availability can be locally out of order (independent per-update
+    delays); a server polling at time t applies the *highest* available
+    version, i.e. ``searchsorted(b, t, 'right')``.
+    """
+    if values.size == 0:
+        return values
+    return np.minimum.accumulate(values[::-1])[::-1]
+
+
+def synthesize_trace(
+    config: Optional[SynthesisConfig] = None, master_seed: int = 0
+) -> CdnTrace:
+    """One-call convenience: build a synthetic CDN trace."""
+    return TraceSynthesizer(config, master_seed).synthesize()

@@ -1,0 +1,173 @@
+"""Multicast-tree existence tests (Section 3.5, Figs. 11-12).
+
+Three negative checks, as in the paper:
+
+1. **Static inter-cluster tree** (Fig. 11a-b): if clusters formed tree
+   layers, their relative average inconsistency would be stable across
+   days; instead it fluctuates freely.
+2. **Static intra-cluster tree** (Fig. 11c-d): within a cluster, server
+   ranks by daily average inconsistency would stay within a narrow band;
+   instead they churn.
+3. **Dynamic tree** (Fig. 12): with any tree, only second-layer servers
+   are bounded by one TTL of staleness and deeper layers exceed it, so
+   *most* randomly sampled servers should show max inconsistency > TTL;
+   instead the large majority stay below it (76.7% / 86.9% in the
+   paper), so servers must poll the provider directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .analysis import day_inconsistencies, server_max_inconsistency, server_mean_inconsistencies
+from .clustering import geo_clusters
+from .records import CdnTrace
+
+__all__ = [
+    "cluster_daily_means",
+    "cluster_mean_spread",
+    "rank_trajectories",
+    "normalized_rank_churn",
+    "max_inconsistency_fractions",
+    "TreeEvidence",
+    "tree_existence_analysis",
+]
+
+
+def cluster_daily_means(
+    trace: CdnTrace, min_cluster_size: int = 3
+) -> Dict[str, List[float]]:
+    """cluster -> per-day mean inconsistency (Fig. 11a/b input)."""
+    clusters = geo_clusters(trace, min_size=min_cluster_size)
+    result: Dict[str, List[float]] = {name: [] for name in clusters}
+    for day in trace.days:
+        for name, members in clusters.items():
+            per_server = day_inconsistencies(day, members)
+            values = np.concatenate([v for v in per_server.values() if v.size]) if per_server else np.empty(0)
+            result[name].append(float(values.mean()) if values.size else 0.0)
+    return result
+
+
+def cluster_mean_spread(daily_means: Dict[str, List[float]]) -> Dict[str, Tuple[float, float]]:
+    """cluster -> (min, max) of its per-day means (Fig. 11a)."""
+    return {
+        name: (min(values), max(values))
+        for name, values in daily_means.items()
+        if values
+    }
+
+
+def rank_trajectories(
+    trace: CdnTrace, cluster_members: Sequence[str], n_days: Optional[int] = None
+) -> Dict[str, List[int]]:
+    """server -> rank (1 = most consistent) per day within its cluster
+    (Fig. 11c-d input)."""
+    days = trace.days[:n_days] if n_days is not None else trace.days
+    ranks: Dict[str, List[int]] = {sid: [] for sid in cluster_members}
+    for day in days:
+        per_server = day_inconsistencies(day, cluster_members)
+        means = {
+            sid: (float(v.mean()) if v.size else 0.0) for sid, v in per_server.items()
+        }
+        ordered = sorted(means, key=lambda sid: means[sid])
+        for rank, sid in enumerate(ordered, start=1):
+            ranks[sid].append(rank)
+    return {sid: values for sid, values in ranks.items() if values}
+
+
+def normalized_rank_churn(ranks: Dict[str, List[int]]) -> float:
+    """Mean (max rank - min rank) / cluster size across servers.
+
+    Near 0 => stable hierarchy (tree-like); large (>~0.3) => no static
+    structure, which is what the paper observes.
+    """
+    if not ranks:
+        raise ValueError("no rank trajectories")
+    size = len(ranks)
+    spreads = [
+        (max(values) - min(values)) / size for values in ranks.values() if values
+    ]
+    return float(np.mean(spreads))
+
+
+def max_inconsistency_fractions(
+    trace: CdnTrace, ttl_s: Optional[float] = None
+) -> List[float]:
+    """Per day: fraction of (absence-free) servers whose *maximum*
+    inconsistency stays below one TTL (Fig. 12)."""
+    ttl = ttl_s if ttl_s is not None else trace.ttl_s
+    fractions: List[float] = []
+    for day in trace.days:
+        maxima = server_max_inconsistency(day, exclude_absent=True)
+        if not maxima:
+            continue
+        below = sum(1 for value in maxima.values() if value < ttl)
+        fractions.append(below / len(maxima))
+    return fractions
+
+
+@dataclass(frozen=True)
+class TreeEvidence:
+    """Aggregated verdict of the three tree-existence tests."""
+
+    rank_churn: float
+    cluster_spread_ratio: float
+    below_ttl_fraction: float
+    #: The paper's conclusion for the measured CDN: no multicast tree.
+    tree_likely: bool
+
+    def summary(self) -> str:
+        verdict = "consistent with" if self.tree_likely else "contradicts"
+        return (
+            "rank churn %.2f, cluster day-to-day spread %.2f, "
+            "%.1f%% of servers bounded by one TTL -- evidence %s a multicast tree"
+            % (
+                self.rank_churn,
+                self.cluster_spread_ratio,
+                100.0 * self.below_ttl_fraction,
+                verdict,
+            )
+        )
+
+
+def tree_existence_analysis(
+    trace: CdnTrace,
+    min_cluster_size: int = 5,
+    churn_threshold: float = 0.25,
+    below_ttl_threshold: float = 0.5,
+) -> TreeEvidence:
+    """Run all three tests and produce a verdict.
+
+    A multicast tree is judged *likely* only if ranks are stable (low
+    churn) AND most servers exceed one TTL of max inconsistency; the
+    paper's CDN fails both.
+    """
+    clusters = geo_clusters(trace, min_size=min_cluster_size)
+    churns: List[float] = []
+    for members in clusters.values():
+        ranks = rank_trajectories(trace, members, n_days=min(7, trace.n_days))
+        if len(ranks) >= min_cluster_size:
+            churns.append(normalized_rank_churn(ranks))
+    rank_churn = float(np.mean(churns)) if churns else 1.0
+
+    daily = cluster_daily_means(trace, min_cluster_size=min_cluster_size)
+    spreads = []
+    for name, values in daily.items():
+        arr = np.asarray(values, dtype=float)
+        if arr.size >= 2 and arr.mean() > 0:
+            spreads.append(float((arr.max() - arr.min()) / arr.mean()))
+    spread_ratio = float(np.mean(spreads)) if spreads else 0.0
+
+    fractions = max_inconsistency_fractions(trace)
+    below_ttl = float(np.mean(fractions)) if fractions else 0.0
+
+    tree_likely = rank_churn < churn_threshold and below_ttl < below_ttl_threshold
+    return TreeEvidence(
+        rank_churn=rank_churn,
+        cluster_spread_ratio=spread_ratio,
+        below_ttl_fraction=below_ttl,
+        tree_likely=tree_likely,
+    )

@@ -1,0 +1,81 @@
+"""Inferring the CDN's TTL from the trace (Section 3.4.1, Fig. 6).
+
+Two estimators, exactly as in the paper:
+
+1. **Recursive refinement** (Fig. 6a).  If TTL were the sole cause of
+   inconsistency, lengths would be Uniform[0, TTL] with mean TTL/2.
+   For a candidate TTL ``T'``: compute ``E''`` as the mean of lengths
+   ``<= T'`` and ``T'' = 2 E''``; the deviation ``|T'' - T'| / T'`` is
+   minimised at the true TTL.
+
+2. **Theory-vs-trace CDF** (Fig. 6b).  For a candidate TTL, drop lengths
+   above it and compare the remaining empirical CDF against the
+   Uniform[0, TTL] CDF by RMSE; the true TTL gives the smallest error
+   (paper: RMSE 0.0462 at 60 s vs 0.0955 at 80 s).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..metrics.stats import rmse_against_uniform
+
+__all__ = [
+    "refinement_deviation",
+    "deviation_curve",
+    "infer_ttl",
+    "theory_rmse",
+    "TtlInference",
+]
+
+
+def refinement_deviation(lengths: Sequence[float], candidate_ttl: float) -> float:
+    """One refinement step's relative deviation for a candidate TTL."""
+    if candidate_ttl <= 0:
+        raise ValueError("candidate_ttl must be positive")
+    arr = np.asarray(list(lengths), dtype=float)
+    kept = arr[arr <= candidate_ttl]
+    if kept.size == 0:
+        return float("inf")
+    refined = 2.0 * float(kept.mean())
+    return abs(refined - candidate_ttl) / candidate_ttl
+
+
+def deviation_curve(
+    lengths: Sequence[float], candidates: Sequence[float]
+) -> List[Tuple[float, float]]:
+    """(candidate TTL, deviation) pairs -- the Fig. 6a curve."""
+    arr = np.asarray(list(lengths), dtype=float)
+    return [(float(c), refinement_deviation(arr, float(c))) for c in candidates]
+
+
+@dataclass(frozen=True)
+class TtlInference:
+    """Result of the TTL inference."""
+
+    ttl_s: float
+    deviation: float
+    curve: Tuple[Tuple[float, float], ...]
+
+
+def infer_ttl(
+    lengths: Sequence[float],
+    candidates: Sequence[float] = tuple(range(40, 81, 2)),
+) -> TtlInference:
+    """The candidate TTL with the smallest refinement deviation."""
+    curve = deviation_curve(lengths, candidates)
+    best_ttl, best_dev = min(curve, key=lambda pair: pair[1])
+    return TtlInference(ttl_s=best_ttl, deviation=best_dev, curve=tuple(curve))
+
+
+def theory_rmse(lengths: Sequence[float], candidate_ttl: float) -> float:
+    """Fig. 6b: RMSE between trace CDF (truncated at the candidate) and
+    the Uniform[0, candidate] CDF."""
+    arr = np.asarray(list(lengths), dtype=float)
+    kept = arr[arr <= candidate_ttl]
+    if kept.size == 0:
+        return float("inf")
+    return rmse_against_uniform(kept, candidate_ttl)

@@ -1,0 +1,122 @@
+"""User-perspective consistency analyses (Section 3.3, Fig. 4).
+
+A user observes *self-inconsistency* when a visit returns content older
+than something they have already seen (score going backwards).  From
+each user's observation stream we derive:
+
+- the fraction of visits redirected to a different server (Fig. 4a),
+- continuous consistency / inconsistency durations (Fig. 4c-d),
+- how continuous inconsistency scales with the polling period (Fig. 4e).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..metrics.stats import PercentileSummary, summarize
+from .analysis import inconsistent_server_fraction
+from .records import CdnTrace
+from .synthesize import UserDaySeries, UserTrace
+
+__all__ = [
+    "redirected_fractions",
+    "daily_inconsistent_server_fractions",
+    "observation_flags",
+    "continuous_times",
+    "all_continuous_times",
+    "inconsistency_vs_poll_interval",
+]
+
+
+def redirected_fractions(user_trace: UserTrace) -> List[float]:
+    """Per-user fraction of visits served by a different server than the
+    previous visit (the Fig. 4a sample)."""
+    fractions: List[float] = []
+    for days in user_trace.users.values():
+        switches = 0
+        transitions = 0
+        for series in days:
+            ids = series.server_ids
+            transitions += max(0, len(ids) - 1)
+            switches += sum(1 for a, b in zip(ids, ids[1:]) if a != b)
+        fractions.append(switches / transitions if transitions else 0.0)
+    return fractions
+
+
+def daily_inconsistent_server_fractions(trace: CdnTrace) -> List[float]:
+    """Per-day average fraction of stale servers (Fig. 4b; paper ~11%)."""
+    return [inconsistent_server_fraction(day) for day in trace.days]
+
+
+def observation_flags(series: UserDaySeries) -> np.ndarray:
+    """Boolean array: ``True`` where a visit shows self-inconsistency
+    (version strictly below the user's running maximum)."""
+    versions = np.asarray(series.versions, dtype=np.int64)
+    if versions.size == 0:
+        return np.zeros(0, dtype=bool)
+    running = np.maximum.accumulate(versions)
+    previous = np.concatenate([[np.int64(-1)], running[:-1]])
+    return versions < previous
+
+
+def continuous_times(series: UserDaySeries) -> Tuple[List[float], List[float]]:
+    """(consistency durations, inconsistency durations) for one stream.
+
+    A continuous inconsistency time runs from the first inconsistent
+    observation to the next consistent one; a continuous consistency
+    time runs from a consistent observation to the next inconsistent one
+    (runs truncated by the end of the session are dropped, since their
+    durations are unknown).
+    """
+    flags = observation_flags(series)
+    times = np.asarray(series.times, dtype=float)
+    consistency: List[float] = []
+    inconsistency: List[float] = []
+    if flags.size == 0:
+        return consistency, inconsistency
+    run_start = 0
+    for i in range(1, flags.size):
+        if flags[i] != flags[run_start]:
+            duration = float(times[i] - times[run_start])
+            if flags[run_start]:
+                inconsistency.append(duration)
+            else:
+                consistency.append(duration)
+            run_start = i
+    return consistency, inconsistency
+
+
+def all_continuous_times(user_trace: UserTrace) -> Tuple[List[float], List[float]]:
+    """Pooled continuous (consistency, inconsistency) durations."""
+    consistency: List[float] = []
+    inconsistency: List[float] = []
+    for days in user_trace.users.values():
+        for series in days:
+            cons, incons = continuous_times(series)
+            consistency.extend(cons)
+            inconsistency.extend(incons)
+    return consistency, inconsistency
+
+
+def inconsistency_vs_poll_interval(
+    make_user_trace: Callable[[float], UserTrace],
+    intervals: Sequence[float] = (10.0, 20.0, 30.0, 40.0, 50.0, 60.0),
+) -> Dict[float, PercentileSummary]:
+    """Fig. 4e: continuous-inconsistency percentiles vs polling period.
+
+    ``make_user_trace(interval)`` must produce a :class:`UserTrace`
+    whose users poll every ``interval`` seconds (e.g. a closure over
+    :meth:`TraceSynthesizer.synthesize_users`).
+    """
+    results: Dict[float, PercentileSummary] = {}
+    for interval in intervals:
+        _, inconsistency = all_continuous_times(make_user_trace(interval))
+        if not inconsistency:
+            # No observed inconsistency at this polling rate: report an
+            # all-zero summary rather than failing.
+            results[interval] = PercentileSummary(0.0, 0.0, 0.0, 0.0, 0)
+        else:
+            results[interval] = summarize(inconsistency)
+    return results

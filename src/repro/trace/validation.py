@@ -1,0 +1,140 @@
+"""Estimator validation against the synthesizer's ground truth.
+
+The Section 3 estimators only see what a crawler could see; the
+synthetic trace, however, carries the ground truth (true update times,
+true absence intervals, the planted TTL).  This module quantifies each
+estimator's bias, which is how we justify statements like "alpha is
+close to the time of this update" (Section 3.1) *quantitatively*:
+
+- :func:`alpha_bias` -- how late the first-appearance estimator runs
+  behind the true update time;
+- :func:`absence_detection` -- precision/recall and length error of the
+  gap-based absence estimator (Fig. 10b's methodology);
+- :func:`ttl_recovery_error` -- inferred minus planted TTL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..metrics.stats import PercentileSummary, summarize
+from .analysis import all_inconsistencies, alpha_times
+from .records import CdnTrace
+from .ttl_inference import infer_ttl
+
+__all__ = [
+    "alpha_bias",
+    "AbsenceDetectionReport",
+    "absence_detection",
+    "ttl_recovery_error",
+]
+
+
+def alpha_bias(trace: CdnTrace) -> PercentileSummary:
+    """Distribution of ``alpha(C_i) - true update time of C_i``.
+
+    Positive by construction (nobody can observe an update before it
+    happens); small relative to the TTL when many servers are crawled,
+    which is the property the paper's estimators rely on.
+    """
+    gaps: List[float] = []
+    for day in trace.days:
+        alpha = alpha_times(day)
+        truth = day.update_times
+        observed = alpha[1 : truth.size + 1]
+        finite = np.isfinite(observed)
+        gaps.extend((observed[finite] - truth[finite]).tolist())
+    if not gaps:
+        raise ValueError("trace has no updates to score")
+    return summarize(gaps)
+
+
+@dataclass(frozen=True)
+class AbsenceDetectionReport:
+    """How well crawl gaps recover the true absence intervals."""
+
+    true_absences: int
+    detected: int
+    spurious: int
+    #: (estimated - true) length errors for matched absences.
+    length_error: Optional[PercentileSummary]
+
+    @property
+    def recall(self) -> float:
+        if self.true_absences == 0:
+            return 1.0
+        return self.detected / self.true_absences
+
+    @property
+    def precision(self) -> float:
+        total = self.detected + self.spurious
+        if total == 0:
+            return 1.0
+        return self.detected / total
+
+
+def absence_detection(
+    trace: CdnTrace, min_detectable_s: Optional[float] = None
+) -> AbsenceDetectionReport:
+    """Match gap-detected absences against the planted ones.
+
+    Absences shorter than 1.5 poll intervals cannot be told apart from
+    ordinary jitter and are excluded from the truth set by default.
+    """
+    threshold = 1.5 * trace.poll_interval_s
+    min_detectable = min_detectable_s if min_detectable_s is not None else threshold
+    true_count = 0
+    detected = 0
+    spurious = 0
+    errors: List[float] = []
+    for day in trace.days:
+        for series in day.polls.values():
+            # Recall is scored only on absences long enough to be
+            # distinguishable from jitter; precision matches against
+            # *every* true absence (a 8 s outage still explains a gap).
+            scoreable = [
+                index
+                for index, (_, duration) in enumerate(series.absences)
+                if duration >= min_detectable
+            ]
+            true_count += len(scoreable)
+            if len(series) < 2:
+                continue
+            gaps = np.diff(series.times)
+            gap_indices = np.nonzero(gaps > threshold)[0]
+            matched_truth = set()
+            for index in gap_indices:
+                gap_start = float(series.times[index])
+                gap_end = float(series.times[index + 1])
+                gap_length = float(gaps[index] - trace.poll_interval_s)
+                match = None
+                for truth_index, (start, duration) in enumerate(series.absences):
+                    if truth_index in matched_truth:
+                        continue
+                    if gap_start <= start + duration and start <= gap_end:
+                        match = truth_index
+                        break
+                if match is None:
+                    spurious += 1
+                    continue
+                matched_truth.add(match)
+                if match in scoreable:
+                    detected += 1
+                    errors.append(gap_length - series.absences[match][1])
+    return AbsenceDetectionReport(
+        true_absences=true_count,
+        detected=detected,
+        spurious=spurious,
+        length_error=summarize(errors) if errors else None,
+    )
+
+
+def ttl_recovery_error(trace: CdnTrace) -> float:
+    """Inferred TTL minus the planted TTL (seconds)."""
+    lengths = all_inconsistencies(trace)
+    if lengths.size == 0:
+        raise ValueError("trace has no inconsistency episodes")
+    return infer_ttl(lengths).ttl_s - trace.ttl_s

@@ -1,0 +1,36 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.experiments.config import smoke_scale
+from repro.experiments.section3 import Section3Context
+from repro.sim import Environment, StreamRegistry
+from repro.trace.synthesize import SynthesisConfig, TraceSynthesizer
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def streams():
+    return StreamRegistry(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_trace():
+    """A small synthetic trace shared (read-only!) across tests."""
+    config = SynthesisConfig(n_servers=60, n_days=3, session_length_s=3000.0)
+    return TraceSynthesizer(config, master_seed=7).synthesize()
+
+
+@pytest.fixture(scope="session")
+def tiny_context():
+    """A Section 3 context at CI scale, shared (read-only!) across tests."""
+    return Section3Context.small(seed=3)
+
+
+@pytest.fixture
+def smoke_config():
+    return smoke_scale()

@@ -1,0 +1,82 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_measure_defaults(self):
+        args = build_parser().parse_args(["measure"])
+        assert args.command == "measure"
+        assert args.servers == 150
+
+    def test_evaluate_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["evaluate", "--method", "smoke-signals"])
+
+    def test_advise_requires_rates(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["advise", "--servers", "10"])
+
+
+class TestCommands:
+    def test_measure_runs(self, capsys, tmp_path):
+        save_path = str(tmp_path / "trace.json")
+        code = main(
+            ["measure", "--servers", "40", "--days", "2", "--save", save_path]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "inferred TTL" in out
+        assert "contradicts a multicast tree" in out
+        from repro.trace import CdnTrace
+
+        assert CdnTrace.load(save_path).n_servers == 40
+
+    def test_evaluate_runs(self, capsys):
+        code = main(
+            [
+                "evaluate",
+                "--method", "push",
+                "--servers", "8",
+                "--users-per-server", "1",
+                "--updates", "10",
+                "--duration", "300",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "push/unicast" in out
+        assert "traffic cost" in out
+
+    def test_advise_strict_hot(self, capsys):
+        code = main(
+            [
+                "advise",
+                "--update-rate", "0.05",
+                "--visit-rate", "0.5",
+                "--servers", "100",
+                "--tolerance", "1",
+            ]
+        )
+        assert code == 0
+        assert "recommendation: push" in capsys.readouterr().out
+
+    def test_advise_bursty(self, capsys):
+        code = main(
+            [
+                "advise",
+                "--update-rate", "0.05",
+                "--visit-rate", "0.2",
+                "--servers", "100",
+                "--tolerance", "30",
+                "--silence-fraction", "0.8",
+            ]
+        )
+        assert code == 0
+        assert "recommendation: self-adaptive" in capsys.readouterr().out

@@ -1,0 +1,259 @@
+"""Behavioural tests for the update-method policies (TTL / Push /
+Invalidation / self-adaptive / adaptive-TTL)."""
+
+import pytest
+
+from repro.cdn import (
+    EndUserActor,
+    FixedSelector,
+    LiveContent,
+    ProviderActor,
+    ServerActor,
+)
+from repro.consistency import (
+    AdaptiveTTLPolicy,
+    InvalidationPolicy,
+    PushPolicy,
+    SelfAdaptivePolicy,
+    TTLPolicy,
+    UnicastInfrastructure,
+)
+from repro.network import MessageKind, NetworkFabric, TopologyBuilder
+from repro.sim import Environment, StreamRegistry
+
+
+def deploy(method_factory, wire, updates, n_servers=3, seed=2, horizon=400.0,
+           users=True, user_ttl=10.0):
+    env = Environment()
+    streams = StreamRegistry(seed)
+    topology = TopologyBuilder(env, streams).build(
+        n_servers=n_servers, users_per_server=1 if users else 0
+    )
+    fabric = NetworkFabric(env, streams=streams)
+    content = LiveContent("game", update_times=list(updates))
+    provider = ProviderActor(env, topology.provider, fabric, content)
+    servers = [
+        ServerActor(env, node, fabric, content, policy=method_factory(streams))
+        for node in topology.servers
+    ]
+    UnicastInfrastructure().wire(provider, servers)
+    wire(provider)
+    user_actors = []
+    if users:
+        for index, server in enumerate(servers):
+            user = EndUserActor(
+                env, topology.users[index][0], fabric, content,
+                FixedSelector(server.node), user_ttl_s=user_ttl,
+            )
+            user_actors.append(user)
+    for server in servers:
+        server.start()
+    for user in user_actors:
+        user.start()
+    env.run(until=horizon)
+    return env, fabric, content, provider, servers, user_actors
+
+
+class TestTTLPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TTLPolicy(0)
+
+    def test_eager_polling_converges_within_ttl(self):
+        env, fabric, content, provider, servers, _ = deploy(
+            lambda st: TTLPolicy(20.0, stream=st.stream("phase")),
+            lambda p: None,
+            updates=(50.0,),
+            users=False,
+        )
+        for server in servers:
+            log = server.apply_log()
+            assert log[-1][1] == 1
+            # applied within one TTL + small delays of the update time
+            assert log[-1][0] <= 50.0 + 20.0 + 2.0
+
+    def test_lazy_mode_only_fetches_on_demand(self):
+        env, fabric, content, provider, servers, users = deploy(
+            lambda st: TTLPolicy(20.0, stream=st.stream("phase"), eager=False),
+            lambda p: None,
+            updates=(50.0,),
+            n_servers=1,
+            users=False,
+            horizon=40.0,
+        )
+        # no users, lazy: not a single poll should have happened
+        assert fabric.ledger.kind_totals(MessageKind.POLL).count == 0
+
+    def test_lazy_mode_serves_fresh_after_expiry(self):
+        env, fabric, content, provider, servers, users = deploy(
+            lambda st: TTLPolicy(15.0, stream=st.stream("phase"), eager=False),
+            lambda p: None,
+            updates=(50.0,),
+            n_servers=1,
+            horizon=300.0,
+        )
+        versions = [obs.version for obs in users[0].observations]
+        assert versions[-1] == 1
+        assert fabric.ledger.kind_totals(MessageKind.POLL).count > 0
+
+    def test_double_bind_rejected(self):
+        policy = TTLPolicy(10.0)
+        env = Environment()
+        streams = StreamRegistry(0)
+        topology = TopologyBuilder(env, streams).build(n_servers=2, users_per_server=0)
+        fabric = NetworkFabric(env, streams=streams)
+        content = LiveContent("c")
+        ServerActor(env, topology.servers[0], fabric, content, policy=policy)
+        with pytest.raises(RuntimeError):
+            ServerActor(env, topology.servers[1], fabric, content, policy=policy)
+
+
+class TestPushPolicy:
+    def test_every_server_receives_every_update(self):
+        env, fabric, content, provider, servers, _ = deploy(
+            lambda st: PushPolicy(),
+            lambda p: p.use_push(),
+            updates=(50.0, 60.0, 70.0),
+            users=False,
+        )
+        for server in servers:
+            versions = [v for _, v in server.apply_log()]
+            assert versions == [0, 1, 2, 3]
+
+    def test_push_counts_match(self):
+        env, fabric, content, provider, servers, _ = deploy(
+            lambda st: PushPolicy(),
+            lambda p: p.use_push(),
+            updates=(50.0, 60.0),
+            n_servers=4,
+            users=False,
+        )
+        assert fabric.ledger.kind_totals(MessageKind.PUSH_UPDATE).count == 8
+
+
+class TestInvalidationPolicy:
+    def test_fetch_deferred_until_visit(self):
+        env, fabric, content, provider, servers, users = deploy(
+            lambda st: InvalidationPolicy(),
+            lambda p: p.use_invalidation(),
+            updates=(50.0,),
+            n_servers=1,
+            user_ttl=30.0,
+        )
+        server = servers[0]
+        log = server.apply_log()
+        assert log[-1][1] == 1
+        # the fetch happened at a visit, not at the update time
+        apply_time = log[-1][0]
+        assert apply_time > 50.0
+        assert fabric.ledger.kind_totals(MessageKind.INVALIDATE).count == 1
+        assert fabric.ledger.kind_totals(MessageKind.FETCH).count == 1
+
+    def test_users_never_see_stale_content(self):
+        env, fabric, content, provider, servers, users = deploy(
+            lambda st: InvalidationPolicy(),
+            lambda p: p.use_invalidation(),
+            updates=tuple(40.0 + 20.0 * i for i in range(10)),
+        )
+        for user in users:
+            for obs in user.observations:
+                # A served version may lag only by in-flight delivery, so
+                # it must be at least the version current ~2 s earlier.
+                floor = content.version_at(obs.time - 2.0)
+                assert obs.version >= floor
+
+    def test_no_visits_means_no_fetch(self):
+        env, fabric, content, provider, servers, _ = deploy(
+            lambda st: InvalidationPolicy(),
+            lambda p: p.use_invalidation(),
+            updates=(50.0, 90.0),
+            users=False,
+        )
+        assert fabric.ledger.kind_totals(MessageKind.FETCH).count == 0
+        for server in servers:
+            assert server.cached_version == 0
+            assert server.is_invalidated
+
+
+class TestSelfAdaptive:
+    def test_switches_to_invalidation_during_silence(self):
+        env, fabric, content, provider, servers, users = deploy(
+            lambda st: SelfAdaptivePolicy(20.0, stream=st.stream("phase")),
+            lambda p: p.use_self_adaptive(),
+            updates=(30.0, 40.0, 50.0),  # burst then silence
+            n_servers=2,
+            horizon=600.0,
+        )
+        for server in servers:
+            policy = server.policy
+            assert policy.switches_to_invalidation >= 1
+            assert policy.mode == "invalidation"  # silent at the horizon
+            assert server.cached_version == 3
+
+    def test_recovers_via_visit_after_new_update(self):
+        # burst, long silence (switch), then a late update
+        env, fabric, content, provider, servers, users = deploy(
+            lambda st: SelfAdaptivePolicy(15.0, stream=st.stream("phase")),
+            lambda p: p.use_self_adaptive(),
+            updates=(30.0, 40.0, 300.0),
+            n_servers=2,
+            horizon=600.0,
+        )
+        for server in servers:
+            assert server.cached_version == 3
+            assert server.policy.switches_to_ttl >= 1
+        # provider sent invalidations only to switched members
+        invalidations = fabric.ledger.kind_totals(MessageKind.INVALIDATE).count
+        assert invalidations >= 2
+        switch_notices = fabric.ledger.kind_totals(MessageKind.SWITCH_NOTICE).count
+        assert switch_notices >= 4  # 2 servers x (to-inv + back-to-ttl)
+
+    def test_saves_polls_versus_plain_ttl_on_bursty_workload(self):
+        updates = tuple([30.0 + 5 * i for i in range(10)])  # burst, then quiet
+
+        def run(factory, wire):
+            env, fabric, *_ = deploy(
+                factory, wire, updates=updates, n_servers=3, horizon=2000.0,
+            )
+            return fabric.ledger.kind_totals(MessageKind.POLL).count
+
+        ttl_polls = run(
+            lambda st: TTLPolicy(20.0, stream=st.stream("phase")), lambda p: None
+        )
+        adaptive_polls = run(
+            lambda st: SelfAdaptivePolicy(20.0, stream=st.stream("phase")),
+            lambda p: p.use_self_adaptive(),
+        )
+        assert adaptive_polls < ttl_polls / 2
+
+
+class TestAdaptiveTTL:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveTTLPolicy(min_ttl_s=0, max_ttl_s=10)
+        with pytest.raises(ValueError):
+            AdaptiveTTLPolicy(min_ttl_s=20, max_ttl_s=10)
+        with pytest.raises(ValueError):
+            AdaptiveTTLPolicy(min_ttl_s=1, max_ttl_s=10, grow_factor=0.5)
+
+    def test_ttl_backs_off_during_silence(self):
+        env, fabric, content, provider, servers, _ = deploy(
+            lambda st: AdaptiveTTLPolicy(10.0, 160.0, stream=st.stream("phase")),
+            lambda p: None,
+            updates=(),
+            n_servers=1,
+            users=False,
+            horizon=1000.0,
+        )
+        assert servers[0].policy.current_ttl_s == 160.0
+
+    def test_ttl_shrinks_under_updates(self):
+        env, fabric, content, provider, servers, _ = deploy(
+            lambda st: AdaptiveTTLPolicy(10.0, 160.0, stream=st.stream("phase")),
+            lambda p: None,
+            updates=tuple(30.0 + 8 * i for i in range(100)),
+            n_servers=1,
+            users=False,
+            horizon=800.0,
+        )
+        assert servers[0].policy.current_ttl_s <= 20.0

@@ -1,0 +1,80 @@
+"""Smoke tests: every example script must run and print its key output.
+
+These execute the real scripts as subprocesses (reduced scales where the
+script accepts arguments), so documentation and code cannot drift apart.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def run_example(name, *args, timeout=300):
+    path = os.path.join(EXAMPLES_DIR, name)
+    result = subprocess.run(
+        [sys.executable, path, *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        for system in ("push", "invalidation", "ttl", "self", "hybrid", "hat"):
+            assert system in out
+        assert "provider" in out
+
+    def test_live_game_measurement(self, tmp_path):
+        save = str(tmp_path / "trace.json")
+        out = run_example(
+            "live_game_measurement.py", "--servers", "50", "--days", "2",
+            "--save", save,
+        )
+        assert "inferred TTL" in out
+        assert "contradicts a multicast tree" in out
+        assert os.path.exists(save)
+
+    def test_method_comparison(self):
+        out = run_example(
+            "method_comparison.py", "--servers", "12", "--users-per-server", "2",
+            "--updates", "30", "--duration", "900",
+        )
+        assert "unicast" in out and "multicast" in out
+        assert "km*KB" in out
+
+    def test_osn_workload(self):
+        out = run_example("osn_workload.py")
+        assert "self-adaptive" in out
+        assert "fewer poll/update responses than plain TTL" in out
+
+    def test_hat_failure_injection(self):
+        out = run_example("hat_failure_injection.py")
+        assert "push tree, no repair" in out
+        assert "with repair" in out
+
+    def test_adaptive_consistency(self):
+        out = run_example("adaptive_consistency.py")
+        assert "recommendation" in out or "MethodAdvisor" in out
+        assert "'push': 12" in out or "push" in out
+        assert "converged" in out
+
+    def test_staleness_timeline(self):
+        out = run_example("staleness_timeline.py")
+        assert "fleet mean staleness" in out
+        assert "ttl" in out and "hat" in out and "push" in out
+
+    def test_export_figures(self, tmp_path):
+        out = run_example(
+            "export_figures.py", "--out", str(tmp_path / "csv"), "--scale", "micro"
+        )
+        assert "wrote" in out and "CSV" in out
+        import glob
+        assert len(glob.glob(str(tmp_path / "csv" / "*.csv"))) >= 9

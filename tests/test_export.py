@@ -1,0 +1,64 @@
+"""Tests for CSV export of figure data."""
+
+import csv
+
+import pytest
+
+from repro.experiments.export import (
+    cdf_table,
+    matrix_table,
+    method_comparison_table,
+    series_table,
+    write_csv,
+)
+from repro.experiments.section4 import fig14_unicast_inconsistency
+
+
+class TestTables:
+    def test_cdf_table(self):
+        header, rows = cdf_table([(1.0, 0.5), (2.0, 1.0)], x_name="seconds")
+        assert header == ["seconds", "cdf"]
+        assert rows == [[1.0, 0.5], [2.0, 1.0]]
+
+    def test_series_table_sorted(self):
+        header, rows = series_table({30.0: 2.0, 10.0: 1.0}, "ttl", "cost")
+        assert header == ["ttl", "cost"]
+        assert [row[0] for row in rows] == [10.0, 30.0]
+
+    def test_matrix_table_fills_missing(self):
+        matrix = {"a": {1.0: 10.0, 2.0: 20.0}, "b": {1.0: 5.0}}
+        header, rows = matrix_table(matrix, "x")
+        assert header == ["x", "a", "b"]
+        assert rows == [[1.0, 10.0, 5.0], [2.0, 20.0, ""]]
+
+    def test_matrix_table_explicit_columns(self):
+        matrix = {"a": {1.0: 10.0}, "b": {1.0: 5.0}}
+        header, _ = matrix_table(matrix, "x", columns=("b", "a"))
+        assert header == ["x", "b", "a"]
+
+
+class TestWriteCsv:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "out.csv")
+        written = write_csv(path, (["x", "y"], [[1, 2], [3, 4]]))
+        with open(written) as handle:
+            rows = list(csv.reader(handle))
+        assert rows == [["x", "y"], ["1", "2"], ["3", "4"]]
+
+    def test_mismatched_row_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_csv(str(tmp_path / "bad.csv"), (["x"], [[1, 2]]))
+
+
+class TestFigureIntegration:
+    def test_fig14_export(self, smoke_config, tmp_path):
+        comparison = fig14_unicast_inconsistency(smoke_config)
+        header, rows = method_comparison_table(comparison)
+        assert header == ["server_rank", "invalidation", "push", "ttl"]
+        assert len(rows) == smoke_config.n_servers
+        # curves are sorted ascending
+        push_curve = [row[header.index("push")] for row in rows]
+        assert push_curve == sorted(push_curve)
+        path = write_csv(str(tmp_path / "fig14.csv"), (header, rows))
+        with open(path) as handle:
+            assert len(list(csv.reader(handle))) == smoke_config.n_servers + 1

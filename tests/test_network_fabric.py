@@ -1,0 +1,235 @@
+"""Tests for nodes, messages, ISPs and the network fabric."""
+
+import pytest
+
+from repro.network import (
+    FabricParams,
+    ISPRegistry,
+    InterISPModel,
+    Message,
+    MessageKind,
+    NetworkFabric,
+    NetworkNode,
+    TopologyBuilder,
+)
+from repro.network.geo import GeoPoint
+from repro.sim import Environment, StreamRegistry
+
+
+def make_nodes(env, streams, n=2):
+    topology = TopologyBuilder(env, streams).build(n_servers=n, users_per_server=0)
+    return topology.provider, topology.servers
+
+
+class TestMessageTaxonomy:
+    def test_update_kinds_are_consistency(self):
+        message = Message(MessageKind.PUSH_UPDATE, None, None, 1.0)
+        assert message.is_update
+        assert message.is_consistency
+        assert not message.is_light
+
+    def test_light_kinds(self):
+        message = Message(MessageKind.POLL, None, None, 1.0)
+        assert message.is_light and message.is_consistency and not message.is_update
+
+    def test_content_traffic_is_not_consistency(self):
+        message = Message(MessageKind.CONTENT_RESPONSE, None, None, 1.0)
+        assert not message.is_consistency
+
+    def test_sequence_numbers_unique(self):
+        a = Message(MessageKind.POLL, None, None, 1.0)
+        b = Message(MessageKind.POLL, None, None, 1.0)
+        assert a.seq != b.seq
+
+
+class TestNode:
+    def test_transmission_delay(self):
+        env = Environment()
+        streams = StreamRegistry(0)
+        provider, _ = make_nodes(env, streams)
+        assert provider.transmission_delay(provider.uplink_kbps) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            provider.transmission_delay(-1)
+
+    def test_invalid_uplink(self):
+        env = Environment()
+        streams = StreamRegistry(0)
+        provider, _ = make_nodes(env, streams)
+        with pytest.raises(ValueError):
+            NetworkNode(env, "x", GeoPoint(0, 0), provider.isp, uplink_kbps=0)
+
+
+class TestInterISP:
+    def test_intra_isp_no_penalty(self):
+        registry = ISPRegistry()
+        stream = StreamRegistry(1).stream("isp")
+        isp = registry.assign("us", stream)
+        model = InterISPModel()
+        assert model.penalty(isp, isp, stream) == 0.0
+
+    def test_inter_isp_positive_penalty(self):
+        registry = ISPRegistry()
+        stream = StreamRegistry(1).stream("isp")
+        a = registry.assign("us", stream)
+        b = next(i for i in registry.all_isps() if i.isp_id != a.isp_id)
+        model = InterISPModel(base_s=0.03, jitter_s=0.0)
+        assert model.penalty(a, b, stream) == pytest.approx(0.03)
+
+
+class TestFabric:
+    def test_delivery_and_ledger(self):
+        env = Environment()
+        streams = StreamRegistry(11)
+        provider, servers = make_nodes(env, streams)
+        fabric = NetworkFabric(env, streams=streams)
+        message = Message(MessageKind.PUSH_UPDATE, provider, servers[0], 2.0, version=1)
+        results = []
+
+        def sender(env):
+            delivered = yield fabric.send(message)
+            results.append(delivered)
+
+        def receiver(env):
+            received = yield servers[0].inbox.get()
+            results.append(received.version)
+
+        env.process(sender(env))
+        env.process(receiver(env))
+        env.run()
+        assert True in results and 1 in results
+        totals = fabric.ledger.kind_totals(MessageKind.PUSH_UPDATE)
+        assert totals.count == 1
+        assert totals.kb == pytest.approx(2.0)
+        assert totals.km_kb == pytest.approx(2.0 * provider.distance_km(servers[0]))
+
+    def test_latency_increases_with_distance(self):
+        env = Environment()
+        streams = StreamRegistry(12)
+        topology = TopologyBuilder(env, streams).build(n_servers=20, users_per_server=0)
+        fabric = NetworkFabric(env, streams=streams)
+        provider = topology.provider
+        near = min(topology.servers, key=provider.distance_km)
+        far = max(topology.servers, key=provider.distance_km)
+        assert fabric.min_latency_s(provider, far) > fabric.min_latency_s(provider, near)
+        assert fabric.rtt_s(provider, far) == pytest.approx(
+            2 * fabric.min_latency_s(provider, far)
+        )
+
+    def test_down_receiver_drops(self):
+        env = Environment()
+        streams = StreamRegistry(13)
+        provider, servers = make_nodes(env, streams)
+        fabric = NetworkFabric(env, streams=streams)
+        servers[0].is_up = False
+        outcome = []
+
+        def sender(env):
+            delivered = yield fabric.send(
+                Message(MessageKind.POLL, provider, servers[0], 1.0)
+            )
+            outcome.append(delivered)
+
+        env.process(sender(env))
+        env.run()
+        assert outcome == [False]
+        assert fabric.dropped == 1
+        assert len(servers[0].inbox) == 0
+
+    def test_down_sender_drops_without_traffic(self):
+        env = Environment()
+        streams = StreamRegistry(14)
+        provider, servers = make_nodes(env, streams)
+        fabric = NetworkFabric(env, streams=streams)
+        provider.is_up = False
+
+        def sender(env):
+            delivered = yield fabric.send(
+                Message(MessageKind.POLL, provider, servers[0], 1.0)
+            )
+            assert delivered is False
+
+        env.process(sender(env))
+        env.run()
+        assert fabric.ledger.totals().count == 0
+
+    def test_output_port_serialises_transmissions(self):
+        env = Environment()
+        streams = StreamRegistry(15)
+        provider, servers = make_nodes(env, streams, n=5)
+        params = FabricParams(latency_jitter_frac=0.0, per_message_overhead_s=0.0)
+        fabric = NetworkFabric(env, params=params, streams=streams)
+        # Each message takes 1 s of pure transmission time.
+        size = provider.uplink_kbps
+        arrival_times = []
+
+        def sender(env):
+            for server in servers:
+                fabric.send(Message(MessageKind.PUSH_UPDATE, provider, server, size))
+            return
+            yield  # pragma: no cover
+
+        def receiver(env, server):
+            yield server.inbox.get()
+            arrival_times.append(env.now)
+
+        env.process(sender(env))
+        for server in servers:
+            env.process(receiver(env, server))
+        env.run()
+        arrival_times.sort()
+        # The k-th message cannot leave before k seconds of transmission.
+        for k, arrival in enumerate(arrival_times, start=1):
+            assert arrival >= k
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            FabricParams(speed_km_per_s=0)
+        with pytest.raises(ValueError):
+            FabricParams(path_stretch=0.5)
+
+
+class TestTopology:
+    def test_build_shapes(self):
+        env = Environment()
+        streams = StreamRegistry(16)
+        topology = TopologyBuilder(env, streams).build(n_servers=7, users_per_server=3)
+        assert topology.n_servers == 7
+        assert len(topology.users) == 7
+        assert all(len(group) == 3 for group in topology.users)
+        assert len(topology.all_nodes()) == 1 + 7 + 21
+
+    def test_provider_in_requested_city(self):
+        env = Environment()
+        streams = StreamRegistry(17)
+        topology = TopologyBuilder(env, streams).build(
+            n_servers=1, users_per_server=0, provider_city="Tokyo"
+        )
+        assert topology.provider.city_name == "Tokyo"
+
+    def test_users_near_their_server(self):
+        env = Environment()
+        streams = StreamRegistry(18)
+        topology = TopologyBuilder(env, streams).build(n_servers=4, users_per_server=2)
+        for server, users in zip(topology.servers, topology.users):
+            for user in users:
+                assert server.distance_km(user) < 40
+
+    def test_invalid_sizes(self):
+        env = Environment()
+        streams = StreamRegistry(19)
+        builder = TopologyBuilder(env, streams)
+        with pytest.raises(ValueError):
+            builder.build(n_servers=0)
+        with pytest.raises(ValueError):
+            builder.build(n_servers=1, users_per_server=-1)
+
+    def test_placement_deterministic_per_seed(self):
+        def build(seed):
+            env = Environment()
+            topology = TopologyBuilder(env, StreamRegistry(seed)).build(
+                n_servers=5, users_per_server=0
+            )
+            return [(s.point.lat, s.point.lon) for s in topology.servers]
+
+        assert build(1) == build(1)
+        assert build(1) != build(2)

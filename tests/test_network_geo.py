@@ -1,0 +1,81 @@
+"""Tests for geographic primitives and the city catalog."""
+
+import pytest
+
+from repro.network.geo import (
+    City,
+    CityCatalog,
+    GeoPoint,
+    WORLD_CITIES,
+    haversine_km,
+)
+from repro.sim import StreamRegistry
+
+
+class TestGeoPoint:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GeoPoint(91.0, 0.0)
+        with pytest.raises(ValueError):
+            GeoPoint(0.0, 181.0)
+
+    def test_zero_distance_to_self(self):
+        point = GeoPoint(40.0, -75.0)
+        assert point.distance_km(point) == 0.0
+
+
+class TestHaversine:
+    def test_known_distance_new_york_london(self):
+        new_york = GeoPoint(40.713, -74.006)
+        london = GeoPoint(51.507, -0.128)
+        distance = haversine_km(new_york, london)
+        assert 5500 < distance < 5620  # true great-circle ~5570 km
+
+    def test_symmetry(self):
+        a = GeoPoint(10.0, 20.0)
+        b = GeoPoint(-30.0, 140.0)
+        assert haversine_km(a, b) == pytest.approx(haversine_km(b, a))
+
+    def test_antipodal_near_half_circumference(self):
+        a = GeoPoint(0.0, 0.0)
+        b = GeoPoint(0.0, 180.0)
+        assert haversine_km(a, b) == pytest.approx(20015, rel=0.01)
+
+    def test_triangle_inequality(self):
+        a = GeoPoint(33.749, -84.388)
+        b = GeoPoint(51.507, -0.128)
+        c = GeoPoint(35.677, 139.650)
+        assert haversine_km(a, c) <= haversine_km(a, b) + haversine_km(b, c) + 1e-6
+
+
+class TestCatalog:
+    def test_by_name(self):
+        catalog = CityCatalog()
+        atlanta = catalog.by_name("Atlanta")
+        assert atlanta.region == "us"
+        with pytest.raises(KeyError):
+            catalog.by_name("Nowhere")
+
+    def test_sampling_respects_region_weights(self):
+        catalog = CityCatalog()
+        stream = StreamRegistry(4).stream("geo")
+        regions = [catalog.sample_city(stream).region for _ in range(2000)]
+        us_fraction = regions.count("us") / len(regions)
+        assert 0.35 < us_fraction < 0.55  # weight is 0.45
+        assert regions.count("other") / len(regions) < 0.15
+
+    def test_sample_point_stays_near_city(self):
+        catalog = CityCatalog()
+        stream = StreamRegistry(5).stream("geo")
+        for _ in range(100):
+            city, point = catalog.sample_point(stream, jitter_deg=0.25)
+            assert abs(point.lat - city.point.lat) <= 0.25 + 1e-9
+            assert haversine_km(point, city.point) < 60
+
+    def test_empty_catalog_rejected(self):
+        with pytest.raises(ValueError):
+            CityCatalog(cities=[])
+
+    def test_catalog_covers_three_main_regions(self):
+        regions = {city.region for city in WORLD_CITIES}
+        assert {"us", "europe", "asia"} <= regions

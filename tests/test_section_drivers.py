@@ -1,0 +1,129 @@
+"""Smoke + shape tests for the figure drivers not covered elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    fig3_inconsistency_cdf,
+    fig4_user_perspective,
+    fig5_inner_cluster,
+    fig7_provider_inconsistency,
+    fig8_distance,
+    fig9_isp,
+    fig10_absence,
+    fig11_static_tree,
+    fig12_dynamic_tree,
+    smoke_scale,
+)
+from repro.experiments.section4 import (
+    fig14_unicast_inconsistency,
+    fig17_cost_vs_ttl,
+    fig18_invalidation_user_ttl,
+)
+from repro.experiments.section5 import (
+    Fig22aResult,
+    fig22a_update_messages,
+    fig24_inconsistency_observations,
+    section5_config,
+)
+
+
+class TestSection3Shapes:
+    def test_fig3_cdf_points_monotone(self, tiny_context):
+        result = fig3_inconsistency_cdf(tiny_context)
+        ys = [y for _, y in result.cdf_points]
+        assert ys == sorted(ys)
+        assert result.n > 100
+
+    def test_fig4_summaries_consistent(self, tiny_context):
+        result = fig4_user_perspective(tiny_context, intervals=(10.0, 30.0))
+        summary = result.redirect_fraction_summary
+        assert 0.0 <= summary.p5 <= summary.median <= summary.p95 <= 1.0
+        assert len(result.daily_inconsistent_server_fractions) == tiny_context.trace.n_days
+        assert 0.0 <= result.frac_incons_at_most_2_polls <= 1.0
+        assert set(result.per_interval) == {10.0, 30.0}
+
+    def test_fig5_counts(self, tiny_context):
+        result = fig5_inner_cluster(tiny_context)
+        assert 0.0 <= result.frac_below_10s <= 1.0
+        assert result.uniform_rmse_on_ttl >= 0.0
+
+    def test_fig7_provider_fresh(self, tiny_context):
+        result = fig7_provider_inconsistency(tiny_context)
+        assert result.frac_below_10s > 0.8
+        assert result.frac_above_50s < 0.1
+
+    def test_fig8_bands_cover_servers(self, tiny_context):
+        result = fig8_distance(tiny_context)
+        assert len(result.band_centres_km) >= 2
+        assert -1.0 <= result.pearson_r <= 1.0
+
+    def test_fig9_cluster_results_complete(self, tiny_context):
+        result = fig9_isp(tiny_context)
+        for cluster in result.clusters:
+            assert cluster.intra.count > 0
+            assert cluster.inter.count > 0
+            assert cluster.increment_mean_s == pytest.approx(
+                cluster.inter.mean - cluster.intra.mean
+            )
+
+    def test_fig10_bins_sorted(self, tiny_context):
+        result = fig10_absence(tiny_context)
+        assert 0.0 in result.impact_by_absence_bin
+        for (group, offset), value in result.around_absence.items():
+            assert group > 0 and offset in (20.0, 40.0, 60.0)
+            assert value >= 0.0
+
+    def test_fig11_spreads_nonnegative(self, tiny_context):
+        result = fig11_static_tree(tiny_context)
+        for low, high in result.cluster_spreads.values():
+            assert low <= high
+
+    def test_fig12_fraction_bounds(self, tiny_context):
+        result = fig12_dynamic_tree(tiny_context)
+        assert all(0.0 <= f <= 1.0 for f in result.daily_below_ttl_fractions)
+
+
+class TestSection4Drivers:
+    def test_fig14_sorted_curves(self, smoke_config):
+        config = smoke_config.with_(users_per_server=2)
+        result = fig14_unicast_inconsistency(config)
+        for method in ("push", "invalidation", "ttl"):
+            curve = result.sorted_server_lags(method)
+            assert curve == sorted(curve)
+            assert len(curve) == config.n_servers
+            users = result.sorted_user_lags(method)
+            assert len(users) == config.n_servers * 2
+
+    def test_fig17_monotone_decreasing(self, smoke_config):
+        result = fig17_cost_vs_ttl(smoke_config, ttls_s=(10.0, 40.0))
+        for infrastructure in ("unicast", "multicast"):
+            assert result[infrastructure][10.0] > result[infrastructure][40.0]
+
+    def test_fig18_point_fields(self, smoke_config):
+        result = fig18_invalidation_user_ttl(smoke_config, user_ttls_s=(10.0, 60.0))
+        for points in result.values():
+            assert [p.user_ttl_s for p in points] == [10.0, 60.0]
+            for point in points:
+                assert point.cost_km_kb > 0
+                assert point.server_lag.p5 <= point.server_lag.p95
+
+
+class TestSection5Drivers:
+    def test_fig22a_ordering_helper(self, smoke_config):
+        config = section5_config(smoke_config)
+        result = fig22a_update_messages(
+            config, user_ttls_s=(20.0,), systems=("push", "ttl", "self")
+        )
+        assert isinstance(result, Fig22aResult)
+        ordering = result.ordering_at(20.0)
+        assert set(ordering) == {"push", "ttl", "self"}
+        assert ordering[0] == "push"  # heaviest first
+
+    def test_fig24_switching_users_fractions(self, smoke_config):
+        config = section5_config(smoke_config)
+        result = fig24_inconsistency_observations(
+            config, user_ttls_s=(10.0,), systems=("push", "ttl")
+        )
+        assert 0.0 <= result["ttl"][10.0] <= 1.0
+        assert result["push"][10.0] <= result["ttl"][10.0]

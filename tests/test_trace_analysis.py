@@ -1,0 +1,144 @@
+"""Tests for the alpha/beta trace estimators on hand-crafted series."""
+
+import numpy as np
+import pytest
+
+from repro.network.geo import GeoPoint
+from repro.trace.analysis import (
+    all_inconsistencies,
+    alpha_times,
+    consistency_ratio,
+    day_inconsistencies,
+    episode_lengths,
+    inconsistent_server_fraction,
+    server_max_inconsistency,
+    server_mean_inconsistencies,
+)
+from repro.trace.records import CdnTrace, DayTrace, PollSeries, ServerInfo
+
+
+def make_day():
+    """Two servers, two updates; hand-computable alphas and episodes.
+
+    Ground truth updates at 15 and 45.  Server A refreshes fast (sees v1
+    at t=20, v2 at t=50); server B lags (sees v1 at t=40, v2 at t=80).
+    """
+    day = DayTrace(
+        day_index=0,
+        session_length_s=100.0,
+        update_times=np.array([15.0, 45.0]),
+    )
+    day.polls = {
+        "A": PollSeries(
+            times=np.arange(0.0, 100.0, 10.0),
+            versions=np.array([0, 0, 1, 1, 1, 2, 2, 2, 2, 2]),
+        ),
+        "B": PollSeries(
+            times=np.arange(0.0, 100.0, 10.0),
+            versions=np.array([0, 0, 0, 0, 1, 1, 1, 1, 2, 2]),
+        ),
+    }
+    return day
+
+
+def make_trace(day):
+    servers = {
+        "A": ServerInfo("A", GeoPoint(40.0, -75.0), "isp-a", "NYC", 1000.0),
+        "B": ServerInfo("B", GeoPoint(41.0, -75.0), "isp-b", "NYC", 1200.0),
+    }
+    return CdnTrace(servers=servers, days=[day], poll_interval_s=10.0, ttl_s=60.0)
+
+
+class TestAlphaTimes:
+    def test_first_appearances(self):
+        day = make_day()
+        alpha = alpha_times(day)
+        # v1 first shown by A at t=20; v2 first shown by A at t=50
+        assert alpha[1] == 20.0
+        assert alpha[2] == 50.0
+
+    def test_alpha_restricted_to_subset(self):
+        day = make_day()
+        alpha_b = alpha_times(day, ["B"])
+        assert alpha_b[1] == 40.0
+        assert alpha_b[2] == 80.0
+
+    def test_alpha_monotone(self, tiny_trace):
+        for day in tiny_trace.days:
+            alpha = alpha_times(day)
+            finite = alpha[np.isfinite(alpha)]
+            assert np.all(np.diff(finite) >= 0)
+
+
+class TestEpisodeLengths:
+    def test_hand_computed_episodes(self):
+        day = make_day()
+        alpha = alpha_times(day)
+        # Server A: shows v0 until t=10, v1 until t=40, v2 has no successor.
+        #   v0 episode: beta=10, alpha(v1)=20 -> clamp(10-20)=0
+        #   v1 episode: beta=40, alpha(v2)=50 -> clamp(40-50)=0
+        assert episode_lengths(day.polls["A"], alpha).tolist() == [0.0, 0.0]
+        # Server B: v0 beta=30 vs alpha(v1)=20 -> 10; v1 beta=70 vs alpha(v2)=50 -> 20
+        assert episode_lengths(day.polls["B"], alpha).tolist() == [10.0, 20.0]
+
+    def test_empty_series(self):
+        day = make_day()
+        alpha = alpha_times(day)
+        empty = PollSeries(times=np.array([]), versions=np.array([], dtype=np.int64))
+        assert episode_lengths(empty, alpha).size == 0
+
+    def test_day_inconsistencies_matches_per_server(self):
+        day = make_day()
+        per_server = day_inconsistencies(day)
+        assert per_server["B"].tolist() == [10.0, 20.0]
+
+    def test_all_inconsistencies_concatenates(self):
+        trace = make_trace(make_day())
+        lengths = all_inconsistencies(trace)
+        assert sorted(lengths.tolist()) == [0.0, 0.0, 10.0, 20.0]
+
+
+class TestDerivedMetrics:
+    def test_consistency_ratio(self):
+        trace = make_trace(make_day())
+        # B: total inconsistency 30 over 100 s of trace.
+        assert consistency_ratio(trace, "B") == pytest.approx(0.7)
+        assert consistency_ratio(trace, "A") == pytest.approx(1.0)
+        with pytest.raises(KeyError):
+            consistency_ratio(trace, "missing")
+
+    def test_server_mean_inconsistencies(self):
+        trace = make_trace(make_day())
+        means = server_mean_inconsistencies(trace)
+        assert means["A"] == [0.0]
+        assert means["B"] == [15.0]
+
+    def test_server_max_inconsistency_excludes_absent(self):
+        day = make_day()
+        day.polls["B"].absences.append((50.0, 20.0))
+        maxima = server_max_inconsistency(day, exclude_absent=True)
+        assert "B" not in maxima
+        assert maxima["A"] == 0.0
+        maxima_all = server_max_inconsistency(day, exclude_absent=False)
+        assert maxima_all["B"] == 20.0
+
+    def test_inconsistent_server_fraction(self):
+        day = make_day()
+        fraction = inconsistent_server_fraction(day)
+        # B is stale from alpha(v1)=20 to 40 and alpha(v2)=50 to 80 -- about
+        # half of the 80 s of defined freshness. A is never stale.
+        assert 0.15 < fraction < 0.40
+
+
+class TestOnSyntheticTrace:
+    def test_mean_inconsistency_near_planted_ttl_half(self, tiny_trace):
+        lengths = all_inconsistencies(tiny_trace)
+        # planted TTL 60 -> TTL-only component mean 30; noise adds a few s
+        assert 25.0 < lengths.mean() < 45.0
+
+    def test_provider_polls_are_fresher_than_servers(self, tiny_trace):
+        from repro.trace.analysis import provider_inconsistencies
+
+        provider = provider_inconsistencies(tiny_trace)
+        servers = all_inconsistencies(tiny_trace)
+        assert provider.mean() < servers.mean() / 3.0

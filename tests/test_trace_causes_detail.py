@@ -1,0 +1,117 @@
+"""Detailed unit tests for the cause analyses on hand-crafted traces."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.stats import PercentileSummary
+from repro.network.geo import GeoPoint
+from repro.trace.causes import (
+    absence_impact,
+    inconsistency_around_absences,
+    observed_absence_lengths,
+)
+from repro.trace.records import CdnTrace, DayTrace, PollSeries, ServerInfo
+from repro.trace.user_view import inconsistency_vs_poll_interval
+from repro.trace.synthesize import UserDaySeries, UserTrace
+
+
+def make_trace_with_absence():
+    """One server with a 60 s absence: polls at 10 s granularity with a
+    gap from t=100 to t=160, held stale through it."""
+    updates = np.arange(20.0, 300.0, 40.0)  # v1..v7
+    day = DayTrace(day_index=0, session_length_s=320.0, update_times=updates)
+
+    # fast server defines alpha: applies each update within ~2 s
+    fast_times = np.arange(0.0, 320.0, 10.0)
+    fast_versions = np.searchsorted(updates + 2.0, fast_times, side="right")
+    day.polls["fast"] = PollSeries(times=fast_times, versions=fast_versions)
+
+    # absent server: normal 10 s behind, but absent in [100, 160)
+    slow_times = np.arange(0.0, 320.0, 10.0)
+    keep = ~((slow_times >= 100.0) & (slow_times < 160.0))
+    slow_times = slow_times[keep]
+    apply_times = updates + 10.0
+    # during the absence it also misses refreshes: updates arriving in
+    # [100, 160) are applied only at 165
+    apply_times = np.where(
+        (apply_times >= 100.0) & (apply_times < 160.0), 165.0, apply_times
+    )
+    slow_versions = np.searchsorted(np.minimum.accumulate(apply_times[::-1])[::-1],
+                                    slow_times, side="right")
+    day.polls["slow"] = PollSeries(
+        times=slow_times, versions=slow_versions, absences=[(100.0, 60.0)]
+    )
+
+    servers = {
+        "fast": ServerInfo("fast", GeoPoint(40.0, -75.0), "isp-a", "NYC", 500.0),
+        "slow": ServerInfo("slow", GeoPoint(41.0, -75.0), "isp-b", "NYC", 600.0),
+    }
+    return CdnTrace(servers=servers, days=[day], poll_interval_s=10.0, ttl_s=60.0)
+
+
+class TestAbsenceEstimators:
+    def test_observed_absence_length_from_gap(self):
+        trace = make_trace_with_absence()
+        lengths = observed_absence_lengths(trace)
+        # gap between responses at 90 and 160 => absence of 70 - 10 = 60 s
+        assert lengths.tolist() == [60.0]
+
+    def test_absence_impact_has_baseline_and_affected_bin(self):
+        trace = make_trace_with_absence()
+        impact = absence_impact(trace)
+        assert 0.0 in impact           # the absence-free server's baseline
+        affected = [v for k, v in impact.items() if k > 0]
+        assert len(affected) == 1
+        # the post-absence episode is much staler than the baseline
+        assert affected[0] > impact[0.0]
+
+    def test_around_absence_closer_is_worse(self):
+        trace = make_trace_with_absence()
+        around = inconsistency_around_absences(
+            trace, offsets_s=(20.0, 60.0), group_width_s=100.0
+        )
+        assert around  # the absence produced measurements
+        for (group, offset), value in around.items():
+            assert group == 100.0
+            assert value >= 0.0
+        # narrower window concentrates on the stale episode
+        narrow = around[(100.0, 20.0)]
+        wide = around[(100.0, 60.0)]
+        assert narrow >= wide
+
+
+class TestPollIntervalSweep:
+    def test_uses_callable_per_interval(self):
+        calls = []
+
+        def make_user_trace(interval):
+            calls.append(interval)
+            # one user, one day: alternating consistent/inconsistent runs
+            times = np.arange(0.0, 200.0, interval)
+            versions = np.zeros(times.size, dtype=np.int64)
+            versions[0 :: 4] = 2        # high
+            versions[1 :: 4] = 1        # regression => inconsistent
+            versions = np.abs(versions)
+            series = UserDaySeries(times=times, versions=versions,
+                                   server_ids=["s"] * times.size)
+            return UserTrace(users={"u": [series]}, poll_interval_s=interval)
+
+        result = inconsistency_vs_poll_interval(make_user_trace, intervals=(10.0, 20.0))
+        assert calls == [10.0, 20.0]
+        assert set(result) == {10.0, 20.0}
+        for summary in result.values():
+            assert isinstance(summary, PercentileSummary)
+        # durations scale with the polling interval in this synthetic
+        assert result[20.0].median >= result[10.0].median
+
+    def test_no_inconsistency_yields_zero_summary(self):
+        def make_user_trace(interval):
+            times = np.arange(0.0, 100.0, interval)
+            versions = np.arange(times.size, dtype=np.int64)  # monotone
+            series = UserDaySeries(times=times, versions=versions,
+                                   server_ids=["s"] * times.size)
+            return UserTrace(users={"u": [series]}, poll_interval_s=interval)
+
+        result = inconsistency_vs_poll_interval(make_user_trace, intervals=(10.0,))
+        assert result[10.0].count == 0
+        assert result[10.0].p95 == 0.0

@@ -1,0 +1,151 @@
+"""Tests for TTL inference, user-view analyses, causes, and tree tests."""
+
+import numpy as np
+import pytest
+
+from repro.sim import StreamRegistry
+from repro.trace import (
+    TraceSynthesizer,
+    SynthesisConfig,
+    consistency_vs_distance,
+    deviation_curve,
+    infer_ttl,
+    isp_inconsistency_analysis,
+    refinement_deviation,
+    theory_rmse,
+    tree_existence_analysis,
+)
+from repro.trace.synthesize import UserDaySeries
+from repro.trace.user_view import (
+    continuous_times,
+    observation_flags,
+    redirected_fractions,
+)
+
+
+class TestTtlRefinement:
+    def test_uniform_sample_recovers_its_ttl(self):
+        rng = np.random.RandomState(3)
+        sample = rng.uniform(0, 60, 50000)
+        inference = infer_ttl(sample, candidates=range(40, 81, 2))
+        assert abs(inference.ttl_s - 60.0) <= 2.0
+        assert inference.deviation < 0.05
+
+    def test_deviation_curve_is_minimised_at_truth(self):
+        rng = np.random.RandomState(4)
+        sample = rng.uniform(0, 60, 50000)
+        curve = dict(deviation_curve(sample, [40.0, 60.0, 80.0]))
+        assert curve[60.0] < curve[40.0]
+        assert curve[60.0] < curve[80.0]
+
+    def test_refinement_deviation_validation(self):
+        with pytest.raises(ValueError):
+            refinement_deviation([1.0], 0.0)
+        assert refinement_deviation([100.0], 50.0) == float("inf")
+
+    def test_theory_rmse_empty_candidate(self):
+        assert theory_rmse([100.0], 50.0) == float("inf")
+
+
+class TestObservationFlags:
+    def test_flags_and_runs(self):
+        series = UserDaySeries(
+            times=np.arange(0.0, 80.0, 10.0),
+            versions=np.array([0, 1, 1, 0, 0, 2, 1, 3]),
+            server_ids=list("aabbaacc"),
+        )
+        flags = observation_flags(series)
+        assert flags.tolist() == [
+            False, False, False, True, True, False, True, False,
+        ]
+        consistency, inconsistency = continuous_times(series)
+        # inconsistency run from t=30 to t=50 (20 s), and t=60 to t=70 (10 s)
+        assert inconsistency == [20.0, 10.0]
+        # consistency runs: 0->30 and 50->60 (the trailing run is truncated)
+        assert consistency == [30.0, 10.0]
+
+    def test_empty_series(self):
+        series = UserDaySeries(
+            times=np.array([]), versions=np.array([], dtype=np.int64), server_ids=[]
+        )
+        assert observation_flags(series).size == 0
+        assert continuous_times(series) == ([], [])
+
+    def test_redirected_fraction(self):
+        series = UserDaySeries(
+            times=np.arange(0.0, 40.0, 10.0),
+            versions=np.zeros(4, dtype=np.int64),
+            server_ids=["a", "a", "b", "a"],
+        )
+        assert series.redirected_fraction() == pytest.approx(2 / 3)
+
+
+@pytest.fixture(scope="module")
+def small_trace():
+    config = SynthesisConfig(n_servers=100, n_days=4, session_length_s=4500.0)
+    return TraceSynthesizer(config, master_seed=21).synthesize()
+
+
+class TestCauses:
+    def test_distance_correlation_negligible(self, small_trace):
+        analysis = consistency_vs_distance(small_trace)
+        assert abs(analysis.pearson_r) < 0.45  # paper: 0.11 -- "little correlation"
+        assert len(analysis.band_centres_km) == len(analysis.band_mean_ratios)
+        assert all(0.0 < ratio <= 1.0 for ratio in analysis.band_mean_ratios)
+
+    def test_isp_increments_positive_on_average(self, small_trace):
+        results = isp_inconsistency_analysis(small_trace, min_cluster_size=3)
+        assert results
+        increments = [r.increment_mean_s for r in results]
+        # inter-ISP measurement must exceed intra on average (Fig. 9)
+        assert float(np.mean(increments)) > 0.0
+        for result in results:
+            assert result.n_servers >= 3
+            assert result.inter.count > 0 and result.intra.count > 0
+
+    def test_congested_isps_have_larger_intra_inconsistency(self, small_trace):
+        results = isp_inconsistency_analysis(small_trace, min_cluster_size=3)
+        means = sorted(r.intra.mean for r in results)
+        # heterogeneous ISP severities -> visible spread across clusters
+        assert means[-1] - means[0] > 5.0
+
+
+class TestTreeInference:
+    def test_no_tree_detected_in_unicast_trace(self, small_trace):
+        evidence = tree_existence_analysis(small_trace)
+        assert not evidence.tree_likely
+        assert evidence.below_ttl_fraction > 0.5
+        assert evidence.rank_churn > 0.25
+        assert "contradicts" in evidence.summary()
+
+    def test_synthetic_layered_trace_is_distinguishable(self):
+        """A hand-built 'tree-like' trace (stable per-server offsets)
+        must NOT look like the unicast trace: rank churn collapses."""
+        from repro.network.geo import GeoPoint
+        from repro.trace.records import CdnTrace, DayTrace, PollSeries, ServerInfo
+        from repro.trace.tree_inference import normalized_rank_churn, rank_trajectories
+
+        rng = np.random.RandomState(5)
+        n_servers, n_days = 12, 6
+        # fixed per-server delay tiers, as a static tree would produce
+        tiers = np.linspace(2.0, 50.0, n_servers)
+        servers = {
+            "s%02d" % i: ServerInfo(
+                "s%02d" % i, GeoPoint(40.0, -75.0 + i * 0.01), "isp", "NYC", 100.0
+            )
+            for i in range(n_servers)
+        }
+        days = []
+        for day_index in range(n_days):
+            updates = np.arange(100.0, 3000.0, 100.0)
+            day = DayTrace(day_index=day_index, session_length_s=3200.0, update_times=updates)
+            for i, sid in enumerate(sorted(servers)):
+                apply_times = updates + tiers[i] + rng.uniform(0, 1.0, updates.size)
+                times = np.arange(0.0, 3200.0, 10.0)
+                versions = np.searchsorted(apply_times, times, side="right")
+                day.polls[sid] = PollSeries(times=times, versions=versions)
+            days.append(day)
+        trace = CdnTrace(servers=servers, days=days, ttl_s=60.0)
+        ranks = rank_trajectories(trace, sorted(servers))
+        churn = normalized_rank_churn(ranks)
+        assert churn < 0.25  # stable hierarchy: clearly below unicast churn

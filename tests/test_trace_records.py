@@ -1,0 +1,108 @@
+"""Tests for trace records, (de)serialisation, and the clock model."""
+
+import numpy as np
+import pytest
+
+from repro.network.geo import GeoPoint
+from repro.sim import StreamRegistry
+from repro.trace.crawler import ClockModel
+from repro.trace.records import CdnTrace, DayTrace, PollSeries, ServerInfo
+
+
+def make_series():
+    return PollSeries(
+        times=np.array([0.0, 10.0, 20.0, 30.0]),
+        versions=np.array([0, 0, 1, 2]),
+        absences=[(12.0, 5.0)],
+    )
+
+
+class TestPollSeries:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PollSeries(times=np.array([0.0, 10.0]), versions=np.array([0]))
+        with pytest.raises(ValueError):
+            PollSeries(times=np.array([10.0, 0.0]), versions=np.array([0, 0]))
+
+    def test_version_at(self):
+        series = make_series()
+        assert series.version_at(-5.0) == 0
+        assert series.version_at(0.0) == 0
+        assert series.version_at(25.0) == 1
+        assert series.version_at(100.0) == 2
+
+    def test_len_and_absence(self):
+        series = make_series()
+        assert len(series) == 4
+        assert series.had_absence
+
+
+class TestTraceContainer:
+    def make_trace(self):
+        servers = {
+            "s-0": ServerInfo("s-0", GeoPoint(40.0, -75.0), "isp-a", "NYC", 1000.0),
+            "s-1": ServerInfo("s-1", GeoPoint(41.0, -75.0), "isp-a", "NYC", 1100.0),
+            "s-2": ServerInfo("s-2", GeoPoint(51.0, 0.0), "isp-b", "London", 6000.0),
+        }
+        day = DayTrace(
+            day_index=0,
+            session_length_s=40.0,
+            update_times=np.array([15.0, 25.0]),
+            provider_polls=make_series(),
+            provider_response_times=np.array([0.5, 0.7]),
+        )
+        day.polls = {sid: make_series() for sid in servers}
+        return CdnTrace(servers=servers, days=[day])
+
+    def test_grouping_helpers(self):
+        trace = self.make_trace()
+        assert trace.servers_by_cluster() == {"NYC": ["s-0", "s-1"], "London": ["s-2"]}
+        assert trace.servers_by_isp() == {"isp-a": ["s-0", "s-1"], "isp-b": ["s-2"]}
+        assert trace.n_servers == 3
+        assert trace.n_days == 1
+        assert trace.total_polls() == 12
+
+    def test_json_roundtrip(self, tmp_path):
+        trace = self.make_trace()
+        path = str(tmp_path / "trace.json")
+        trace.save(path)
+        loaded = CdnTrace.load(path)
+        assert loaded.n_servers == trace.n_servers
+        assert loaded.ttl_s == trace.ttl_s
+        original = trace.days[0].polls["s-0"]
+        restored = loaded.days[0].polls["s-0"]
+        np.testing.assert_allclose(restored.times, original.times)
+        np.testing.assert_array_equal(restored.versions, original.versions)
+        assert restored.absences == original.absences
+        np.testing.assert_allclose(
+            loaded.days[0].provider_response_times,
+            trace.days[0].provider_response_times,
+        )
+        assert loaded.servers["s-2"].geo_cluster == "London"
+
+
+class TestClockModel:
+    def test_correction_removes_most_skew(self):
+        stream = StreamRegistry(8).stream("clock")
+        model = ClockModel(stream, skew_sigma_s=5.0, rtt_asymmetry_sigma_s=0.05)
+        times = np.arange(0.0, 100.0, 10.0)
+        for _ in range(50):
+            estimate = model.sample()
+            skewed = model.skew_timestamps(times, estimate)
+            corrected = model.correct_timestamps(skewed, estimate)
+            residual = np.abs(corrected - times).max()
+            assert residual == pytest.approx(abs(estimate.residual_s))
+            assert residual < 0.5  # way below the raw skew scale
+
+    def test_residual_much_smaller_than_skew(self):
+        stream = StreamRegistry(9).stream("clock")
+        model = ClockModel(stream, skew_sigma_s=2.0, rtt_asymmetry_sigma_s=0.05)
+        samples = [model.sample() for _ in range(300)]
+        mean_skew = np.mean([abs(s.true_skew_s) for s in samples])
+        mean_residual = np.mean([abs(s.residual_s) for s in samples])
+        assert mean_residual < mean_skew / 10.0
+
+    def test_validation(self):
+        stream = StreamRegistry(0).stream("clock")
+        with pytest.raises(ValueError):
+            ClockModel(stream, skew_sigma_s=-1.0)

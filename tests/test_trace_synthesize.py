@@ -1,0 +1,133 @@
+"""Statistical tests for the generative trace model (Section 3 data)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import Cdf
+from repro.trace import (
+    SynthesisConfig,
+    TraceSynthesizer,
+    all_inconsistencies,
+    infer_ttl,
+    observed_absence_lengths,
+    theory_rmse,
+)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    config = SynthesisConfig(n_servers=120, n_days=5)
+    return TraceSynthesizer(config, master_seed=11).synthesize()
+
+
+class TestConfigValidation:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            SynthesisConfig(n_servers=0)
+        with pytest.raises(ValueError):
+            SynthesisConfig(updates_per_day_low=10, updates_per_day_high=5)
+        with pytest.raises(ValueError):
+            SynthesisConfig(absence_prob_per_day=1.5)
+        with pytest.raises(ValueError):
+            SynthesisConfig(absence_short_frac=0.8, absence_mid_frac=0.4)
+
+
+class TestShape:
+    def test_dimensions(self, trace):
+        assert trace.n_servers == 120
+        assert trace.n_days == 5
+        for day in trace.days:
+            assert len(day.polls) == 120
+            assert day.provider_polls is not None
+            assert day.n_updates >= 50
+
+    def test_polls_cover_the_session(self, trace):
+        day = trace.days[0]
+        for series in day.polls.values():
+            if series.had_absence:
+                continue
+            assert series.times[0] < 2 * trace.poll_interval_s
+            assert series.times[-1] > day.session_length_s - 3 * trace.poll_interval_s
+
+    def test_versions_monotone_per_server(self, trace):
+        for day in trace.days:
+            for series in day.polls.values():
+                versions = series.versions
+                assert np.all(np.diff(versions) >= 0)
+                assert versions.max() <= day.n_updates
+
+    def test_determinism(self):
+        config = SynthesisConfig(n_servers=20, n_days=1)
+        a = TraceSynthesizer(config, master_seed=5).synthesize()
+        b = TraceSynthesizer(config, master_seed=5).synthesize()
+        sid = a.server_ids()[0]
+        np.testing.assert_array_equal(
+            a.days[0].polls[sid].versions, b.days[0].polls[sid].versions
+        )
+        c = TraceSynthesizer(config, master_seed=6).synthesize()
+        assert not np.array_equal(
+            a.days[0].polls[sid].versions, c.days[0].polls[sid].versions
+        )
+
+
+class TestCalibration:
+    """The synthetic trace must reproduce the paper's headline statistics."""
+
+    def test_mean_inconsistency_in_paper_range(self, trace):
+        lengths = all_inconsistencies(trace)
+        assert 28.0 < lengths.mean() < 42.0  # paper: ~40 s
+
+    def test_fraction_below_10s(self, trace):
+        cdf = Cdf(all_inconsistencies(trace))
+        assert 0.05 < cdf.at(10.0) < 0.18  # paper: 10.1%
+
+    def test_fraction_above_50s(self, trace):
+        cdf = Cdf(all_inconsistencies(trace))
+        assert 0.08 < cdf.fraction_above(50.0) < 0.30  # paper: 20.3%
+
+    def test_ttl_recoverable(self, trace):
+        lengths = all_inconsistencies(trace)
+        inference = infer_ttl(lengths)
+        assert 54.0 <= inference.ttl_s <= 68.0  # planted 60 s
+
+    def test_theory_rmse_prefers_true_ttl(self, trace):
+        lengths = all_inconsistencies(trace)
+        assert theory_rmse(lengths, 60.0) < theory_rmse(lengths, 80.0)
+
+    def test_absence_lengths_match_mixture(self, trace):
+        absences = observed_absence_lengths(trace)
+        assert absences.size > 0
+        assert float(np.mean(absences < 50.0)) > 0.75  # paper: 93.1% < 50 s
+        assert absences.max() <= 600.0
+
+
+class TestUserSynthesis:
+    def test_user_trace_shape(self, trace):
+        synthesizer = TraceSynthesizer(
+            SynthesisConfig(n_servers=120, n_days=5), master_seed=11
+        )
+        users = synthesizer.synthesize_users(trace, n_users=20)
+        assert users.n_users == 20
+        for days in users.users.values():
+            assert len(days) == trace.n_days
+            for series in days:
+                assert len(series) == len(series.server_ids)
+                assert series.versions.max() <= max(d.n_updates for d in trace.days)
+
+    def test_redirect_fraction_in_paper_band(self, trace):
+        synthesizer = TraceSynthesizer(
+            SynthesisConfig(n_servers=120, n_days=5), master_seed=11
+        )
+        users = synthesizer.synthesize_users(trace, n_users=30)
+        fractions = [
+            series.redirected_fraction()
+            for days in users.users.values()
+            for series in days
+        ]
+        median = float(np.median(fractions))
+        assert 0.08 < median < 0.25  # paper: most users 13-17%
+
+    def test_invalid_user_count(self, trace):
+        synthesizer = TraceSynthesizer(SynthesisConfig(n_servers=10, n_days=1))
+        with pytest.raises(ValueError):
+            synthesizer.synthesize_users(trace, n_users=0)

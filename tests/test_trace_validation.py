@@ -1,0 +1,72 @@
+"""Tests for estimator validation against ground truth."""
+
+import pytest
+
+from repro.trace import SynthesisConfig, TraceSynthesizer
+from repro.trace.validation import (
+    absence_detection,
+    alpha_bias,
+    ttl_recovery_error,
+)
+
+
+@pytest.fixture(scope="module")
+def validation_trace():
+    config = SynthesisConfig(n_servers=120, n_days=4, absence_prob_per_day=0.25)
+    return TraceSynthesizer(config, master_seed=19).synthesize()
+
+
+class TestAlphaBias:
+    def test_alpha_runs_late_but_close(self, validation_trace):
+        bias = alpha_bias(validation_trace)
+        # nobody observes an update before it exists (modulo the small
+        # residual clock-correction error)
+        assert bias.p5 > -1.0
+        # with ~120 independently phased servers, the earliest observer
+        # is far closer than one TTL
+        assert bias.median < validation_trace.ttl_s / 2.0
+        assert bias.p95 < validation_trace.ttl_s
+
+    def test_bias_shrinks_with_fleet_size(self):
+        def median_bias(n_servers):
+            config = SynthesisConfig(n_servers=n_servers, n_days=2)
+            trace = TraceSynthesizer(config, master_seed=23).synthesize()
+            return alpha_bias(trace).median
+
+        assert median_bias(150) < median_bias(15)
+
+    def test_empty_trace_rejected(self):
+        config = SynthesisConfig(
+            n_servers=5, n_days=1, updates_per_day_low=1, updates_per_day_high=1
+        )
+        trace = TraceSynthesizer(config, master_seed=1).synthesize()
+        trace.days[0].update_times = trace.days[0].update_times[:0]
+        with pytest.raises(ValueError):
+            alpha_bias(trace)
+
+
+class TestAbsenceDetection:
+    def test_high_recall_and_precision(self, validation_trace):
+        report = absence_detection(validation_trace)
+        assert report.true_absences > 5
+        assert report.recall > 0.9
+        assert report.precision > 0.9
+
+    def test_length_errors_bounded_by_poll_interval(self, validation_trace):
+        report = absence_detection(validation_trace)
+        assert report.length_error is not None
+        # gap-based length = true length +/- up to ~two poll intervals
+        # (phase of the crawl grid on both sides), plus flaky-window noise
+        assert abs(report.length_error.median) < 2.5 * validation_trace.poll_interval_s
+
+    def test_no_absences_perfect_scores(self):
+        config = SynthesisConfig(n_servers=20, n_days=1, absence_prob_per_day=0.0)
+        trace = TraceSynthesizer(config, master_seed=3).synthesize()
+        report = absence_detection(trace)
+        assert report.true_absences == 0
+        assert report.recall == 1.0
+
+
+class TestTtlRecovery:
+    def test_error_within_one_refinement_step(self, validation_trace):
+        assert abs(ttl_recovery_error(validation_trace)) <= 8.0

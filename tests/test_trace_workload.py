@@ -1,0 +1,105 @@
+"""Tests for the update workload generators."""
+
+import pytest
+
+from repro.sim import StreamRegistry
+from repro.trace.workload import (
+    BurstSilenceWorkload,
+    DEFAULT_GAME_DURATION_S,
+    DEFAULT_PLAY_WINDOWS,
+    LiveGameWorkload,
+    PoissonWorkload,
+)
+
+
+def stream(name="w", seed=6):
+    return StreamRegistry(seed).stream(name)
+
+
+class TestLiveGameWorkload:
+    def test_exact_count_and_sorted(self):
+        workload = LiveGameWorkload()
+        times = workload.generate(stream())
+        assert len(times) == 306
+        assert times == sorted(times)
+        assert all(0 <= t <= DEFAULT_GAME_DURATION_S for t in times)
+
+    def test_updates_only_in_play_windows(self):
+        workload = LiveGameWorkload()
+        times = workload.generate(stream())
+        for t in times:
+            assert not workload.is_break(t), "update at %s falls in a break" % t
+
+    def test_breaks_are_silent(self):
+        workload = LiveGameWorkload()
+        times = workload.generate(stream())
+        first_break = (DEFAULT_PLAY_WINDOWS[0][1], DEFAULT_PLAY_WINDOWS[1][0])
+        assert not any(first_break[0] <= t < first_break[1] for t in times)
+
+    def test_scaled_duration_scales_windows(self):
+        workload = LiveGameWorkload(n_updates=30, duration_s=876.0)
+        assert workload.play_windows[0][1] == pytest.approx(306.0)
+        times = workload.generate(stream())
+        assert len(times) == 30
+        assert max(times) <= 876.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LiveGameWorkload(n_updates=0)
+        with pytest.raises(ValueError):
+            LiveGameWorkload(play_windows=[(10.0, 5.0)])
+        with pytest.raises(ValueError):
+            LiveGameWorkload(play_windows=[(0.0, 100.0), (50.0, 200.0)])
+        with pytest.raises(ValueError):
+            LiveGameWorkload(burstiness=2.0)
+
+    def test_determinism(self):
+        workload = LiveGameWorkload(n_updates=50)
+        assert workload.generate(stream(seed=9)) == workload.generate(stream(seed=9))
+        assert workload.generate(stream(seed=9)) != workload.generate(stream(seed=10))
+
+    def test_active_time(self):
+        workload = LiveGameWorkload()
+        expected = sum(b - a for a, b in DEFAULT_PLAY_WINDOWS)
+        assert workload.active_time_s == pytest.approx(expected)
+
+
+class TestPoissonWorkload:
+    def test_count_close_to_expectation(self):
+        workload = PoissonWorkload(rate_per_s=0.1, duration_s=10000.0)
+        times = workload.generate(stream())
+        assert 800 < len(times) < 1200
+        assert times == sorted(times)
+
+    def test_respects_bounds(self):
+        workload = PoissonWorkload(rate_per_s=1.0, duration_s=50.0, start_s=100.0)
+        times = workload.generate(stream())
+        assert all(100.0 <= t < 150.0 for t in times)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PoissonWorkload(rate_per_s=0, duration_s=10)
+
+
+class TestBurstSilenceWorkload:
+    def test_total_count(self):
+        workload = BurstSilenceWorkload(n_bursts=5, updates_per_burst=7)
+        times = workload.generate(stream())
+        assert len(times) == 35
+        assert times == sorted(times)
+
+    def test_bursts_separated_by_silence(self):
+        workload = BurstSilenceWorkload(
+            n_bursts=4, updates_per_burst=10, burst_gap_mean_s=1.0, silence_mean_s=1000.0
+        )
+        times = workload.generate(stream())
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        large = [g for g in gaps if g > 100.0]
+        # at least the inter-burst gaps should be large
+        assert len(large) >= 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BurstSilenceWorkload(n_bursts=0)
+        with pytest.raises(ValueError):
+            BurstSilenceWorkload(burst_gap_mean_s=0)

@@ -1,0 +1,129 @@
+"""Tests for the extended workloads and the staleness time series."""
+
+import numpy as np
+import pytest
+
+from repro.cdn.content import LiveContent
+from repro.metrics.timeseries import StalenessSeries, fleet_staleness_series, staleness_series
+from repro.sim import StreamRegistry
+from repro.trace.workload import AuctionWorkload, FlashSaleWorkload
+
+
+def stream(seed=71):
+    return StreamRegistry(seed).stream("w")
+
+
+class TestFlashSale:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlashSaleWorkload(duration_s=0)
+        with pytest.raises(ValueError):
+            FlashSaleWorkload(sale_start_s=10_000.0)
+        with pytest.raises(ValueError):
+            FlashSaleWorkload(sale_rate_multiplier=0.5)
+
+    def test_rate_profile(self):
+        workload = FlashSaleWorkload()
+        assert workload.rate_at(0.0) == workload.base_rate_per_s
+        assert workload.rate_at(workload.sale_start_s + 1.0) == pytest.approx(
+            workload.base_rate_per_s * workload.sale_rate_multiplier
+        )
+        after = workload.sale_start_s + workload.sale_duration_s + 1.0
+        assert workload.rate_at(after) == workload.base_rate_per_s
+
+    def test_sale_window_dominates_updates(self):
+        workload = FlashSaleWorkload()
+        times = np.asarray(workload.generate(stream()))
+        assert times.size > 20
+        assert np.all(np.diff(times) > 0)
+        in_sale = np.sum(
+            (times >= workload.sale_start_s)
+            & (times < workload.sale_start_s + workload.sale_duration_s)
+        )
+        assert in_sale > 0.5 * times.size  # the sale carries most updates
+
+    def test_deterministic(self):
+        workload = FlashSaleWorkload()
+        assert workload.generate(stream(1)) == workload.generate(stream(1))
+
+
+class TestAuction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AuctionWorkload(duration_s=0)
+        with pytest.raises(ValueError):
+            AuctionWorkload(base_rate_per_s=0.6, closing_rate_per_s=0.5)
+
+    def test_rate_grows_toward_close(self):
+        workload = AuctionWorkload()
+        assert workload.rate_at(0.0) == pytest.approx(workload.base_rate_per_s)
+        assert workload.rate_at(workload.duration_s) == pytest.approx(
+            workload.closing_rate_per_s
+        )
+        assert workload.rate_at(1800.0) > workload.rate_at(60.0)
+
+    def test_sniping_pattern(self):
+        workload = AuctionWorkload()
+        times = np.asarray(workload.generate(stream()))
+        assert times.size > 10
+        last_tenth = np.sum(times > 0.9 * workload.duration_s)
+        first_tenth = np.sum(times < 0.1 * workload.duration_s)
+        assert last_tenth > 3 * max(1, first_tenth)
+
+
+class TestStalenessSeries:
+    def make_content(self):
+        return LiveContent("c", update_times=[100.0, 200.0])
+
+    def test_fresh_replica_never_stale(self):
+        content = self.make_content()
+        log = [(0.0, 0), (100.5, 1), (200.5, 2)]
+        series = staleness_series(content, log, horizon_s=300.0, step_s=10.0)
+        assert series.max() <= 0.5 + 1e-9
+
+    def test_lagging_replica_staleness_ramps(self):
+        content = self.make_content()
+        log = [(0.0, 0), (160.0, 1)]  # v1 applied 60 s late; v2 never
+        series = staleness_series(content, log, horizon_s=300.0, step_s=10.0)
+        values = dict(zip(series.times, series.values))
+        assert values[150.0] == pytest.approx(50.0)   # stale since t=100
+        assert values[170.0] == pytest.approx(0.0)    # recovered
+        assert values[290.0] == pytest.approx(90.0)   # stale since t=200
+        assert series.over(40.0) > 0.0
+
+    def test_empty_log_counts_from_version_zero(self):
+        content = self.make_content()
+        series = staleness_series(content, [], horizon_s=151.0, step_s=50.0)
+        # grid instant t=150: version 0 has been superseded since t=100
+        assert series.values[-1] == pytest.approx(50.0)
+
+    def test_fleet_mean(self):
+        content = self.make_content()
+        fresh = [(0.0, 0), (100.0, 1), (200.0, 2)]
+        lagging = [(0.0, 0)]
+        fleet = fleet_staleness_series(content, [fresh, lagging], horizon_s=300.0)
+        solo = staleness_series(content, lagging, horizon_s=300.0)
+        assert fleet.mean() == pytest.approx(solo.mean() / 2.0, rel=0.01)
+
+    def test_validation(self):
+        content = self.make_content()
+        with pytest.raises(ValueError):
+            staleness_series(content, [], horizon_s=0.0)
+        with pytest.raises(ValueError):
+            staleness_series(content, [], horizon_s=10.0, step_s=0.0)
+        with pytest.raises(ValueError):
+            fleet_staleness_series(content, [], horizon_s=10.0)
+        with pytest.raises(ValueError):
+            StalenessSeries(times=(0.0,), values=())
+
+    def test_integration_with_deployment(self, smoke_config):
+        from repro.experiments import build_deployment
+
+        deployment = build_deployment(smoke_config, "ttl", "unicast")
+        deployment.run()
+        logs = [server.apply_log() for server in deployment.servers]
+        fleet = fleet_staleness_series(
+            deployment.content, logs, horizon_s=smoke_config.run_horizon_s
+        )
+        # TTL staleness is bounded by ~TTL plus delays
+        assert 0.0 < fleet.max() < 3.0 * smoke_config.server_ttl_s
