@@ -1,0 +1,21 @@
+# Developer entry points.  `make smoke` is the pre-merge gate: a fast
+# bytecode-compile lint plus the driver shape tests.
+
+PYTEST := PYTHONPATH=src python -m pytest
+
+.PHONY: smoke lint test bench report
+
+lint:
+	python -m compileall -q src
+
+smoke: lint
+	$(PYTEST) -q tests/test_section_drivers.py
+
+test:
+	$(PYTEST) -q tests/
+
+bench:
+	$(PYTEST) benchmarks/ --benchmark-only
+
+report:
+	PYTHONPATH=src python examples/regenerate_experiments.py --scale small

@@ -1,10 +1,13 @@
 """Regenerate EXPERIMENTS.md by running every figure driver.
 
 Run:  python examples/regenerate_experiments.py [--scale small|medium] [--out PATH]
+                                                [--workers N|auto] [--registry PATH]
 
 ``medium`` (~1/3 paper scale) takes several minutes; ``small`` finishes
 in about a minute.  The output is fully deterministic for a given scale
-and seed.
+and seed -- including with ``--workers`` > 1 (the Section 4/5 sweeps
+fan over a process pool) and with ``--registry`` (completed deployments
+are memoized on disk and reused on the next run).
 """
 
 import argparse
@@ -13,6 +16,7 @@ import sys
 import time
 
 from repro.experiments.report import ReportScale, generate_report
+from repro.runner import Runner
 
 
 def main() -> None:
@@ -23,13 +27,25 @@ def main() -> None:
         "--out",
         default=os.path.join(os.path.dirname(__file__), "..", "EXPERIMENTS.md"),
     )
+    parser.add_argument(
+        "--workers",
+        default=None,
+        help='parallel workers; "auto" = one per CPU (default: $REPRO_WORKERS or 1)',
+    )
+    parser.add_argument(
+        "--registry",
+        default=None,
+        metavar="PATH",
+        help="run-registry JSON memoizing deployments (default: $REPRO_RUN_REGISTRY)",
+    )
     args = parser.parse_args()
 
     scale = (
         ReportScale.small(args.seed) if args.scale == "small" else ReportScale.medium(args.seed)
     )
+    runner = Runner(workers=args.workers, registry=args.registry)
     started = time.time()
-    markdown = generate_report(scale, log=sys.stderr)
+    markdown = generate_report(scale, log=sys.stderr, runner=runner)
     out_path = os.path.abspath(args.out)
     with open(out_path, "w") as handle:
         handle.write(markdown)

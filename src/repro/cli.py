@@ -1,11 +1,16 @@
 """Command-line interface.
 
-Four subcommands mirroring the paper's workflow::
+Five subcommands mirroring the paper's workflow::
 
     python -m repro measure    # Section 3: synthesize + analyse a crawl
     python -m repro evaluate   # Section 4: one method on one infrastructure
+    python -m repro sweep      # a grid of deployments through the runner
     python -m repro advise     # guidance: recommend a method from rates
     python -m repro report     # regenerate the EXPERIMENTS.md report
+
+``sweep`` and ``report`` accept ``--workers`` (or ``REPRO_WORKERS``) to
+fan deployments over a process pool, and ``--registry`` (or
+``REPRO_RUN_REGISTRY``) to memoize completed runs on disk.
 """
 
 from __future__ import annotations
@@ -17,7 +22,37 @@ from typing import List, Optional
 __all__ = ["main", "build_parser"]
 
 
+def _workers_argument(value: str) -> str:
+    if value.strip().lower() != "auto":
+        try:
+            int(value)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                "expected an integer or 'auto', got %r" % value
+            )
+    return value
+
+
+def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        default=None,
+        type=_workers_argument,
+        help='parallel worker count; "auto" or 0 = one per CPU '
+        "(default: $REPRO_WORKERS or 1 = serial)",
+    )
+    parser.add_argument(
+        "--registry",
+        default=None,
+        metavar="PATH",
+        help="run-registry JSON file memoizing completed deployments "
+        "(default: $REPRO_RUN_REGISTRY, unset = no memoization)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
+    from .consistency.registry import infrastructure_choices, method_choices
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of 'Measuring and Evaluating Live Content "
@@ -36,13 +71,9 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate = sub.add_parser(
         "evaluate", help="run one update method on one infrastructure (Section 4)"
     )
+    evaluate.add_argument("--method", default="ttl", choices=method_choices())
     evaluate.add_argument(
-        "--method",
-        default="ttl",
-        choices=("push", "invalidation", "ttl", "self-adaptive", "adaptive-ttl", "dynamic"),
-    )
-    evaluate.add_argument(
-        "--infrastructure", default="unicast", choices=("unicast", "multicast", "broadcast")
+        "--infrastructure", default="unicast", choices=infrastructure_choices()
     )
     evaluate.add_argument("--servers", type=int, default=60)
     evaluate.add_argument("--users-per-server", type=int, default=3)
@@ -50,6 +81,32 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--duration", type=float, default=2920.0)
     evaluate.add_argument("--server-ttl", type=float, default=10.0)
     evaluate.add_argument("--seed", type=int, default=0)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a (method x infrastructure x TTL x seed) grid through "
+        "the parallel runner",
+    )
+    sweep.add_argument(
+        "--methods", nargs="+", default=["push", "invalidation", "ttl"],
+        choices=method_choices(), metavar="METHOD",
+    )
+    sweep.add_argument(
+        "--infrastructures", nargs="+", default=["unicast"],
+        choices=infrastructure_choices(), metavar="INFRA",
+    )
+    sweep.add_argument(
+        "--systems", nargs="+", default=None, metavar="SYSTEM",
+        help="sweep full Section 5 systems (push/invalidation/ttl/self/"
+        "hybrid/hat) instead of method x infrastructure cells",
+    )
+    sweep.add_argument("--seeds", nargs="+", type=int, default=[0])
+    sweep.add_argument(
+        "--server-ttls", nargs="+", type=float, default=None, metavar="SECONDS",
+        help="sweep the content-server TTL over these values",
+    )
+    sweep.add_argument("--scale", choices=("smoke", "ci", "paper"), default="smoke")
+    _add_runner_arguments(sweep)
 
     advise = sub.add_parser(
         "advise", help="recommend an update method from workload rates"
@@ -68,6 +125,7 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--scale", choices=("small", "medium"), default="small")
     report.add_argument("--seed", type=int, default=0)
     report.add_argument("--out", default="EXPERIMENTS.md")
+    _add_runner_arguments(report)
 
     return parser
 
@@ -130,6 +188,60 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .experiments.config import ci_scale, paper_scale, smoke_scale
+    from .runner import Runner, RunSpec
+
+    base = {"smoke": smoke_scale, "ci": ci_scale, "paper": paper_scale}[args.scale]()
+    ttls = args.server_ttls if args.server_ttls else [base.server_ttl_s]
+
+    specs = []
+    if args.systems:
+        for system in args.systems:
+            for ttl in ttls:
+                for seed in args.seeds:
+                    specs.append(
+                        RunSpec(
+                            config=base.with_overrides(server_ttl_s=ttl, seed=seed),
+                            method=system,
+                            kind="system",
+                        )
+                    )
+    else:
+        for method in args.methods:
+            for infrastructure in args.infrastructures:
+                for ttl in ttls:
+                    for seed in args.seeds:
+                        specs.append(
+                            RunSpec(
+                                config=base.with_overrides(
+                                    server_ttl_s=ttl, seed=seed
+                                ),
+                                method=method,
+                                infrastructure=infrastructure,
+                            )
+                        )
+
+    runner = Runner(workers=args.workers, registry=args.registry)
+    outcome = runner.run(specs)
+
+    header = ("spec", "ttl_s", "server_lag_s", "user_lag_s", "cost_km_kb")
+    print("%-32s %8s %14s %12s %14s" % header)
+    for spec, metrics in outcome.pairs():
+        print(
+            "%-32s %8g %14.3f %12.3f %14.4g"
+            % (
+                spec.label,
+                spec.config.server_ttl_s,
+                metrics.mean_server_lag,
+                metrics.mean_user_lag,
+                metrics.cost_km_kb,
+            )
+        )
+    print(outcome.stats.summary())
+    return 0
+
+
 def _cmd_advise(args: argparse.Namespace) -> int:
     from .core import MethodAdvisor, WorkloadProfile
 
@@ -153,13 +265,15 @@ def _cmd_advise(args: argparse.Namespace) -> int:
 
 def _cmd_report(args: argparse.Namespace) -> int:
     from .experiments.report import ReportScale, generate_report
+    from .runner import Runner
 
     scale = (
         ReportScale.small(args.seed)
         if args.scale == "small"
         else ReportScale.medium(args.seed)
     )
-    markdown = generate_report(scale, log=sys.stderr)
+    runner = Runner(workers=args.workers, registry=args.registry)
+    markdown = generate_report(scale, log=sys.stderr, runner=runner)
     with open(args.out, "w") as handle:
         handle.write(markdown)
     print("wrote %s" % args.out)
@@ -169,6 +283,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "measure": _cmd_measure,
     "evaluate": _cmd_evaluate,
+    "sweep": _cmd_sweep,
     "advise": _cmd_advise,
     "report": _cmd_report,
 }

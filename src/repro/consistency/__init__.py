@@ -16,10 +16,32 @@ from .invalidation import InvalidationPolicy
 from .maintenance import TreeMaintainer
 from .multicast import MulticastTreeInfrastructure
 from .push import PushPolicy
+from .registry import (
+    INFRASTRUCTURE_REGISTRY,
+    METHOD_REGISTRY,
+    InfrastructureEntry,
+    MethodEntry,
+    infrastructure_choices,
+    infrastructure_names,
+    method_choices,
+    method_names,
+    resolve_infrastructure,
+    resolve_method,
+)
 from .ttl import TTLPolicy
 from .unicast import UnicastInfrastructure
 
 __all__ = [
+    "MethodEntry",
+    "InfrastructureEntry",
+    "METHOD_REGISTRY",
+    "INFRASTRUCTURE_REGISTRY",
+    "method_names",
+    "method_choices",
+    "infrastructure_names",
+    "infrastructure_choices",
+    "resolve_method",
+    "resolve_infrastructure",
     "ServerPolicy",
     "Infrastructure",
     "TTLPolicy",

@@ -13,15 +13,23 @@ runs; ``smoke_scale()`` is minimal.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import difflib
+from dataclasses import dataclass, field, fields, replace
 from typing import Optional
 
 __all__ = ["TestbedConfig", "paper_scale", "ci_scale", "smoke_scale"]
 
 
-@dataclass
+@dataclass(kw_only=True)
 class TestbedConfig:
-    """All tunables of one trace-driven experiment run."""
+    """All tunables of one trace-driven experiment run.
+
+    Fields are keyword-only: configs are built and modified by knob
+    name, never positionally.  Use :meth:`with_overrides` (or its short
+    alias :meth:`with_`) to derive modified copies -- unknown knob names
+    are rejected with a "did you mean" hint instead of silently
+    configuring nothing.
+    """
 
     #: Not a pytest test class, despite the name.
     __test__ = False
@@ -78,9 +86,32 @@ class TestbedConfig:
             self.server_ttl_s, self.user_ttl_s
         )
 
+    def with_overrides(self, **overrides) -> "TestbedConfig":
+        """A modified copy; rejects unknown knob names explicitly.
+
+        Sweep drivers feed user-supplied knob names through here, so a
+        typo'd parameter fails loudly with the list of valid knobs (and
+        the closest match) instead of surfacing as a confusing
+        ``TypeError`` from the generated ``__init__``.
+        """
+        valid = {f.name for f in fields(self)}
+        unknown = sorted(set(overrides) - valid)
+        if unknown:
+            hints = []
+            for name in unknown:
+                close = difflib.get_close_matches(name, valid, n=1)
+                hints.append(
+                    "%r%s" % (name, " (did you mean %r?)" % close[0] if close else "")
+                )
+            raise ValueError(
+                "unknown TestbedConfig knob(s) %s; valid knobs: %s"
+                % (", ".join(hints), ", ".join(sorted(valid)))
+            )
+        return replace(self, **overrides)
+
     def with_(self, **changes) -> "TestbedConfig":
-        """A modified copy (dataclasses.replace with a shorter name)."""
-        return replace(self, **changes)
+        """Short alias for :meth:`with_overrides`."""
+        return self.with_overrides(**changes)
 
 
 def paper_scale(**overrides) -> TestbedConfig:

@@ -9,11 +9,13 @@ simulations.
 from __future__ import annotations
 
 import csv
+import json
 import os
 from typing import Dict, Iterable, List, Sequence, Tuple
 
 __all__ = [
     "write_csv",
+    "write_figures_json",
     "cdf_table",
     "series_table",
     "method_comparison_table",
@@ -36,6 +38,20 @@ def write_csv(path: str, table: Table) -> str:
         writer = csv.writer(handle)
         writer.writerow(header)
         writer.writerows(rows)
+    return path
+
+
+def write_figures_json(path: str, figures: Iterable) -> str:
+    """Write a manifest of :class:`FigureResult`-shaped objects as JSON.
+
+    Each entry is ``figure.to_dict()`` keyed by the figure's name -- one
+    machine-readable file covering every exported figure.
+    """
+    manifest = {figure.name: figure.to_dict() for figure in figures}
+    path = os.path.abspath(path)
+    with open(path, "w") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+        handle.write("\n")
     return path
 
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 import os
 from typing import Dict, List, Optional, Sequence
 
+from ..runner import Runner
 from .config import TestbedConfig
 from .export import (
     cdf_table,
@@ -18,6 +19,7 @@ from .export import (
     method_comparison_table,
     series_table,
     write_csv,
+    write_figures_json,
 )
 from .report import ReportScale
 from .section3 import (
@@ -45,43 +47,55 @@ __all__ = ["export_all"]
 def export_all(
     out_dir: str,
     scale: Optional[ReportScale] = None,
+    runner: Optional[Runner] = None,
 ) -> List[str]:
-    """Run the exportable figure drivers and write one CSV each.
+    """Run the exportable figure drivers and write one CSV each, plus a
+    ``figures.json`` manifest of every figure's ``to_dict()``.
 
     Returns the list of written paths.  Uses ``ReportScale.small`` by
     default; pass ``ReportScale.medium()`` for publication-grade runs.
+    ``runner`` is threaded into the Section 4/5 sweeps.
     """
     scale = scale if scale is not None else ReportScale.small()
+    if runner is None:
+        runner = Runner()
     os.makedirs(out_dir, exist_ok=True)
     written: List[str] = []
+    figures: List = []  # every FigureResult produced, for the manifest
 
     def emit(name: str, table) -> None:
         written.append(write_csv(os.path.join(out_dir, name), table))
 
+    def keep(figure):
+        figures.append(figure)
+        return figure
+
     # --- Section 3 -----------------------------------------------------
     ctx = Section3Context(scale.section3, n_users=scale.n_users)
+    f3 = keep(fig3_inconsistency_cdf(ctx))
     emit("fig03_inconsistency_cdf.csv",
-         cdf_table(fig3_inconsistency_cdf(ctx).cdf_points, "inconsistency_s"))
+         cdf_table(f3.cdf_points, "inconsistency_s"))
+    f5 = keep(fig5_inner_cluster(ctx))
     emit("fig05_inner_cluster_cdf.csv",
-         cdf_table(fig5_inner_cluster(ctx).cdf_points, "inconsistency_s"))
-    f6 = fig6_ttl_inference(ctx)
+         cdf_table(f5.cdf_points, "inconsistency_s"))
+    f6 = keep(fig6_ttl_inference(ctx))
     emit("fig06_ttl_deviation_curve.csv",
          series_table(dict(f6.inference.curve), "candidate_ttl_s", "deviation"))
 
     # --- Section 4 -----------------------------------------------------
-    emit("fig14_unicast_server_lags.csv",
-         method_comparison_table(fig14_unicast_inconsistency(scale.section4)))
-    emit("fig15_multicast_server_lags.csv",
-         method_comparison_table(fig15_multicast_inconsistency(scale.section4)))
-    f16 = fig16_traffic_cost(scale.section4)
+    f14 = keep(fig14_unicast_inconsistency(scale.section4, runner=runner))
+    emit("fig14_unicast_server_lags.csv", method_comparison_table(f14))
+    f15 = keep(fig15_multicast_inconsistency(scale.section4, runner=runner))
+    emit("fig15_multicast_server_lags.csv", method_comparison_table(f15))
+    f16 = keep(fig16_traffic_cost(scale.section4, runner=runner))
     cost_matrix: Dict[str, Dict[float, float]] = {}
     for (method, infra), cost in f16.costs.items():
         cost_matrix.setdefault("%s_%s" % (method, infra), {})[0.0] = cost
     emit("fig16_traffic_cost.csv", matrix_table(cost_matrix, "row"))
-    f17 = fig17_cost_vs_ttl(scale.sweep, ttls_s=(10.0, 30.0, 60.0))
+    f17 = keep(fig17_cost_vs_ttl(scale.sweep, ttls_s=(10.0, 30.0, 60.0), runner=runner))
     emit("fig17_cost_vs_ttl.csv", matrix_table(f17, "ttl_s"))
     sizes = tuple(int(scale.sweep.n_servers * f) for f in (1, 3, 5))
-    f20 = fig20_network_size(scale.sweep, n_servers=sizes)
+    f20 = keep(fig20_network_size(scale.sweep, n_servers=sizes, runner=runner))
     flat20 = {
         "%s_%s" % (infra, method): {float(n): lag for n, lag in per.items()}
         for infra, methods in f20.items()
@@ -91,9 +105,14 @@ def export_all(
 
     # --- Section 5 -----------------------------------------------------
     s5 = section5_config(scale.sweep)
-    f22a = fig22a_update_messages(s5, user_ttls_s=(10.0, 30.0, 60.0))
+    f22a = keep(fig22a_update_messages(s5, user_ttls_s=(10.0, 30.0, 60.0), runner=runner))
     emit("fig22a_update_messages.csv", matrix_table(f22a.counts, "user_ttl_s"))
-    f24 = fig24_inconsistency_observations(s5, user_ttls_s=(10.0, 30.0, 60.0))
+    f24 = keep(
+        fig24_inconsistency_observations(s5, user_ttls_s=(10.0, 30.0, 60.0), runner=runner)
+    )
     emit("fig24_stale_observations.csv", matrix_table(f24, "user_ttl_s"))
 
+    written.append(
+        write_figures_json(os.path.join(out_dir, "figures.json"), figures)
+    )
     return written

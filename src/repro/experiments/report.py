@@ -12,6 +12,7 @@ import sys
 import time
 from typing import Dict, List, Optional, Sequence, TextIO
 
+from ..runner import Runner
 from ..trace.synthesize import SynthesisConfig
 from .config import TestbedConfig, ci_scale
 from .section3 import (
@@ -129,13 +130,23 @@ def _pct(value: float) -> str:
 
 
 def generate_report(
-    scale: Optional[ReportScale] = None, log: Optional[TextIO] = None
+    scale: Optional[ReportScale] = None,
+    log: Optional[TextIO] = None,
+    runner: Optional[Runner] = None,
 ) -> str:
-    """Run everything; return the EXPERIMENTS.md markdown."""
+    """Run everything; return the EXPERIMENTS.md markdown.
+
+    ``runner`` is threaded into every Section 4/5 sweep; pass one with
+    ``workers > 1`` (or set ``REPRO_WORKERS``) to run the deployments in
+    parallel, and one with a registry to memoize them across runs.
+    """
     scale = scale if scale is not None else ReportScale.medium()
     log = log if log is not None else sys.stderr
+    if runner is None:
+        runner = Runner()
     lines: List[str] = []
     out = lines.append
+    sweep_figures = []  # FigureResults carrying RunStats, in run order
 
     def progress(name: str) -> None:
         log.write("[report] %s...\n" % name)
@@ -314,7 +325,8 @@ def generate_report(
     out("")
 
     progress("fig14")
-    f14 = fig14_unicast_inconsistency(scale.section4)
+    f14 = fig14_unicast_inconsistency(scale.section4, runner=runner)
+    sweep_figures.append(f14)
     out("### Fig. 14 -- inconsistency, unicast")
     out("| method | paper | measured server lag | measured user lag |")
     out("|---|---|---|---|")
@@ -333,7 +345,8 @@ def generate_report(
     out("")
 
     progress("fig15")
-    f15 = fig15_multicast_inconsistency(scale.section4)
+    f15 = fig15_multicast_inconsistency(scale.section4, runner=runner)
+    sweep_figures.append(f15)
     out("### Fig. 15 -- inconsistency, multicast tree")
     out("| method | measured server lag | measured user lag |")
     out("|---|---|---|")
@@ -349,7 +362,8 @@ def generate_report(
     out("")
 
     progress("fig16")
-    f16 = fig16_traffic_cost(scale.section4)
+    f16 = fig16_traffic_cost(scale.section4, runner=runner)
+    sweep_figures.append(f16)
     out("### Fig. 16 -- consistency maintenance cost (km*KB)")
     out("| method | unicast | multicast | multicast saving |")
     out("|---|---|---|---|")
@@ -367,7 +381,8 @@ def generate_report(
     out("")
 
     progress("fig17")
-    f17 = fig17_cost_vs_ttl(scale.sweep)
+    f17 = fig17_cost_vs_ttl(scale.sweep, runner=runner)
+    sweep_figures.append(f17)
     out("### Fig. 17 -- TTL cost vs TTL value (paper: cost falls as TTL grows)")
     out("| TTL (s) | unicast km*KB | multicast km*KB |")
     out("|---|---|---|")
@@ -376,7 +391,8 @@ def generate_report(
     out("")
 
     progress("fig18")
-    f18 = fig18_invalidation_user_ttl(scale.sweep)
+    f18 = fig18_invalidation_user_ttl(scale.sweep, runner=runner)
+    sweep_figures.append(f18)
     out("### Fig. 18 -- Invalidation vs end-user TTL (paper: lag up, cost down)")
     out("| user TTL (s) | unicast median lag (s) | unicast km*KB | multicast median lag (s) | multicast km*KB |")
     out("|---|---|---|---|---|")
@@ -388,7 +404,8 @@ def generate_report(
     out("")
 
     progress("fig19")
-    f19 = fig19_packet_size(scale.sweep)
+    f19 = fig19_packet_size(scale.sweep, runner=runner)
+    sweep_figures.append(f19)
     out("### Fig. 19 -- inconsistency vs update packet size")
     out("| infra | method | 1 KB | 100 KB | 500 KB |")
     out("|---|---|---|---|---|")
@@ -406,7 +423,8 @@ def generate_report(
     sizes = tuple(
         max(10, int(round(scale.sweep.n_servers * f))) for f in (1.0, 2.0, 3.0, 4.0, 5.0)
     )
-    f20 = fig20_network_size(scale.sweep, n_servers=sizes)
+    f20 = fig20_network_size(scale.sweep, n_servers=sizes, runner=runner)
+    sweep_figures.append(f20)
     out("### Fig. 20 -- inconsistency vs network size (scaled: %s servers)" % (sizes,))
     out("| infra | method | " + " | ".join("N=%d" % n for n in sizes) + " |")
     out("|---|---|" + "---|" * len(sizes))
@@ -427,7 +445,10 @@ def generate_report(
     s5_sweep = section5_config(scale.sweep)
 
     progress("fig22a")
-    f22a = fig22a_update_messages(s5_sweep, user_ttls_s=(10.0, 30.0, 60.0))
+    f22a = fig22a_update_messages(
+        s5_sweep, user_ttls_s=(10.0, 30.0, 60.0), runner=runner
+    )
+    sweep_figures.append(f22a)
     out("### Fig. 22a -- update (response) messages vs end-user TTL")
     out("| system | " + " | ".join("uTTL=%.0fs" % t for t in (10.0, 30.0, 60.0)) + " |")
     out("|---|---|---|---|")
@@ -438,7 +459,10 @@ def generate_report(
     out("")
 
     progress("fig22b")
-    f22b = fig22b_provider_messages(s5_sweep, server_ttls_s=(10.0, 30.0, 60.0))
+    f22b = fig22b_provider_messages(
+        s5_sweep, server_ttls_s=(10.0, 30.0, 60.0), runner=runner
+    )
+    sweep_figures.append(f22b)
     out("### Fig. 22b -- provider update messages vs content-server TTL")
     out("| system | " + " | ".join("sTTL=%.0fs" % t for t in (10.0, 30.0, 60.0)) + " |")
     out("|---|---|---|---|")
@@ -449,7 +473,8 @@ def generate_report(
     out("")
 
     progress("fig23")
-    f23 = fig23_network_load(s5)
+    f23 = fig23_network_load(s5, runner=runner)
+    sweep_figures.append(f23)
     out("### Fig. 23 -- consistency network load (km)")
     out("| system | update-message load | light-message load | total |")
     out("|---|---|---|---|")
@@ -467,7 +492,10 @@ def generate_report(
     out("")
 
     progress("fig24")
-    f24 = fig24_inconsistency_observations(s5_sweep, user_ttls_s=(10.0, 30.0, 60.0))
+    f24 = fig24_inconsistency_observations(
+        s5_sweep, user_ttls_s=(10.0, 30.0, 60.0), runner=runner
+    )
+    sweep_figures.append(f24)
     out("### Fig. 24 -- % of inconsistency observations (server-switching users)")
     out("| system | " + " | ".join("uTTL=%.0fs" % t for t in (10.0, 30.0, 60.0)) + " |")
     out("|---|---|---|---|")
@@ -475,6 +503,39 @@ def generate_report(
         per = f24[system]
         out("| %s | %s |" % (system, " | ".join(_pct(per[t]) for t in (10.0, 30.0, 60.0))))
     out("| paper ordering | TTL ~ Hybrid > HAT > Self > Push ~ Inval ~ 0 | | |")
+    out("")
+
+    # ------------------------------------------------------------------
+    out("## Run statistics")
+    out("")
+    out("| figure | deployments | cache hits | wall time (s) | sim events |")
+    out("|---|---|---|---|---|")
+    totals = dict(executed=0, cache_hits=0, wall_time_s=0.0, events_processed=0)
+    for figure in sweep_figures:
+        stats = figure.to_dict().get("stats", {})
+        out(
+            "| %s | %d | %d | %.2f | %d |"
+            % (
+                figure.name,
+                stats.get("executed", 0),
+                stats.get("cache_hits", 0),
+                stats.get("wall_time_s", 0.0),
+                stats.get("events_processed", 0),
+            )
+        )
+        for key in totals:
+            totals[key] += stats.get(key, 0)
+    out(
+        "| total | %d | %d | %.2f | %d |"
+        % (
+            totals["executed"],
+            totals["cache_hits"],
+            totals["wall_time_s"],
+            totals["events_processed"],
+        )
+    )
+    out("")
+    out("Workers: %d." % runner.workers)
     out("")
 
     out("---")

@@ -1,0 +1,127 @@
+"""FigureResult: the one result type every figure driver returns.
+
+Historically each driver returned its own shape -- frozen dataclasses
+(:class:`MethodComparison`, ``Fig22aResult``), bare nested dicts
+(Figs. 17/19/20/22b/24), or tuples.  Every consumer (the report
+generator, the CSV exporter, the benchmarks) had to know each shape.
+
+Now every Section 3/4/5 driver returns a :class:`FigureResult`:
+
+- ``name`` / ``params`` identify the figure and the sweep that made it;
+- ``series`` holds the plottable data (what the figure draws), always
+  dict-shaped; :class:`FigureResult` exposes the mapping protocol over
+  it, so sweep results still read like the dicts they replaced
+  (``fig17(...)["unicast"][10.0]``);
+- ``summary`` holds the headline scalars the report tables print;
+- ``details`` keeps the figure-specific rich object; attribute access
+  falls through to it, so domain helpers keep working
+  (``fig14(...).server_lag_ordering()``);
+- ``stats`` carries the :class:`~repro.runner.RunStats` of the sweep
+  that produced the figure (``None`` for the trace-analysis figures,
+  which run no deployments);
+- :meth:`to_dict` gives one JSON-safe export shape for all figures.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+__all__ = ["FigureResult"]
+
+
+def _jsonify(value: Any) -> Any:
+    """Best-effort conversion to JSON-safe types (numbers survive exactly)."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _jsonify(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(key): _jsonify(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set)):
+        return [_jsonify(item) for item in value]
+    if hasattr(value, "item") and callable(value.item) and not isinstance(
+        value, (str, bytes)
+    ):
+        try:
+            return value.item()  # numpy scalars
+        except (TypeError, ValueError):  # pragma: no cover - defensive
+            pass
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if hasattr(value, "to_dict"):
+        return _jsonify(value.to_dict())
+    return str(value)
+
+
+@dataclass
+class FigureResult:
+    """Uniform result of one figure driver (see module docstring)."""
+
+    name: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    series: Dict[str, Any] = field(default_factory=dict)
+    summary: Dict[str, Any] = field(default_factory=dict)
+    details: Any = None
+    stats: Any = None  # RunStats of the producing sweep, if any
+
+    # ------------------------------------------------------------------
+    # mapping protocol over ``series`` (sweep drivers used to return
+    # bare dicts; their callers keep working unchanged)
+    # ------------------------------------------------------------------
+    def __getitem__(self, key):
+        return self.series[key]
+
+    def __iter__(self):
+        return iter(self.series)
+
+    def __len__(self) -> int:
+        return len(self.series)
+
+    def __contains__(self, key) -> bool:
+        return key in self.series
+
+    def keys(self):
+        return self.series.keys()
+
+    def values(self):
+        return self.series.values()
+
+    def items(self):
+        return self.series.items()
+
+    def get(self, key, default=None):
+        return self.series.get(key, default)
+
+    # ------------------------------------------------------------------
+    # attribute fallthrough to the figure-specific details object
+    # ------------------------------------------------------------------
+    def __getattr__(self, attribute: str):
+        # Only called for attributes not found normally.  Guard dunders
+        # (pickling/copying probe them before __dict__ exists).
+        if attribute.startswith("__") or attribute == "details":
+            raise AttributeError(attribute)
+        details = self.__dict__.get("details")
+        if details is None:
+            raise AttributeError(
+                "figure %r has no attribute %r (and no details object)"
+                % (self.__dict__.get("name"), attribute)
+            )
+        return getattr(details, attribute)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """One JSON-safe shape for every figure (export/report use this)."""
+        data: Dict[str, Any] = {
+            "name": self.name,
+            "params": _jsonify(self.params),
+            "series": _jsonify(self.series),
+            "summary": _jsonify(self.summary),
+        }
+        if self.stats is not None:
+            data["stats"] = _jsonify(
+                self.stats.to_dict() if hasattr(self.stats, "to_dict") else self.stats
+            )
+        return data

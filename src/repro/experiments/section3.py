@@ -1,9 +1,12 @@
 """Section 3 figure drivers (trace measurement, Figs. 3-12).
 
 Each ``figN`` function consumes a shared :class:`Section3Context`
-(synthetic trace + simulated users) and returns a small result object
-carrying exactly the numbers the paper's figure reports, so the
-benchmark for each figure can regenerate and check it independently.
+(synthetic trace + simulated users) and returns a :class:`FigureResult`
+whose ``details`` carry exactly the numbers the paper's figure reports
+(attribute access falls through to them), so the benchmark for each
+figure can regenerate and check it independently.  These figures are
+trace analyses -- they run no deployments, so their ``stats`` is
+``None``.
 """
 
 from __future__ import annotations
@@ -45,6 +48,7 @@ from ..trace.user_view import (
     inconsistency_vs_poll_interval,
     redirected_fractions,
 )
+from .result import FigureResult
 
 __all__ = [
     "Section3Context",
@@ -129,15 +133,26 @@ class Fig3Result:
     cdf_points: Tuple[Tuple[float, float], ...]
 
 
-def fig3_inconsistency_cdf(ctx: Section3Context) -> Fig3Result:
+def fig3_inconsistency_cdf(ctx: Section3Context) -> FigureResult:
     lengths = ctx.inconsistency_lengths
     cdf = Cdf(lengths)
-    return Fig3Result(
+    details = Fig3Result(
         n=len(cdf),
         mean_s=float(lengths.mean()),
         frac_below_10s=cdf.at(10.0),
         frac_above_50s=cdf.fraction_above(50.0),
         cdf_points=tuple(cdf.points(50)),
+    )
+    return FigureResult(
+        name="fig3",
+        series={"cdf_points": list(details.cdf_points)},
+        summary={
+            "n": details.n,
+            "mean_s": details.mean_s,
+            "frac_below_10s": details.frac_below_10s,
+            "frac_above_50s": details.frac_above_50s,
+        },
+        details=details,
     )
 
 
@@ -159,7 +174,7 @@ class Fig4Result:
 def fig4_user_perspective(
     ctx: Section3Context,
     intervals: Sequence[float] = (10.0, 20.0, 30.0, 40.0, 50.0, 60.0),
-) -> Fig4Result:
+) -> FigureResult:
     user_trace = ctx.user_trace
     redirect = summarize(redirected_fractions(user_trace))
     daily = tuple(daily_inconsistent_server_fractions(ctx.trace))
@@ -176,13 +191,24 @@ def fig4_user_perspective(
         ),
         intervals,
     )
-    return Fig4Result(
+    details = Fig4Result(
         redirect_fraction_summary=redirect,
         daily_inconsistent_server_fractions=daily,
         continuous_consistency=cons_summary,
         continuous_inconsistency=incons_summary,
         frac_incons_at_most_2_polls=frac_short,
         per_interval=per_interval,
+    )
+    return FigureResult(
+        name="fig4",
+        params={"intervals": list(intervals)},
+        series={"per_interval": per_interval},
+        summary={
+            "median_redirect_fraction": redirect.median,
+            "frac_incons_at_most_2_polls": frac_short,
+            "median_continuous_consistency_s": cons_summary.median,
+        },
+        details=details,
     )
 
 
@@ -199,7 +225,9 @@ class Fig5Result:
     cdf_points: Tuple[Tuple[float, float], ...]
 
 
-def fig5_inner_cluster(ctx: Section3Context, min_cluster_size: int = 3) -> Fig5Result:
+def fig5_inner_cluster(
+    ctx: Section3Context, min_cluster_size: int = 3
+) -> FigureResult:
     from ..metrics.stats import rmse_against_uniform
 
     trace = ctx.trace
@@ -212,11 +240,22 @@ def fig5_inner_cluster(ctx: Section3Context, min_cluster_size: int = 3) -> Fig5R
     lengths = np.concatenate([c for c in chunks if c.size]) if chunks else np.empty(0)
     cdf = Cdf(lengths)
     within = lengths[lengths <= trace.ttl_s]
-    return Fig5Result(
+    details = Fig5Result(
         n=len(cdf),
         frac_below_10s=cdf.at(10.0),
         uniform_rmse_on_ttl=rmse_against_uniform(within, trace.ttl_s),
         cdf_points=tuple(cdf.points(50)),
+    )
+    return FigureResult(
+        name="fig5",
+        params={"min_cluster_size": min_cluster_size},
+        series={"cdf_points": list(details.cdf_points)},
+        summary={
+            "n": details.n,
+            "frac_below_10s": details.frac_below_10s,
+            "uniform_rmse_on_ttl": details.uniform_rmse_on_ttl,
+        },
+        details=details,
     )
 
 
@@ -232,12 +271,22 @@ class Fig6Result:
     rmse_at_80: float
 
 
-def fig6_ttl_inference(ctx: Section3Context) -> Fig6Result:
+def fig6_ttl_inference(ctx: Section3Context) -> FigureResult:
     lengths = ctx.inconsistency_lengths
-    return Fig6Result(
+    details = Fig6Result(
         inference=infer_ttl(lengths),
         rmse_at_60=theory_rmse(lengths, 60.0),
         rmse_at_80=theory_rmse(lengths, 80.0),
+    )
+    return FigureResult(
+        name="fig6",
+        series={"deviation_curve": dict(details.inference.curve)},
+        summary={
+            "ttl_s": details.inference.ttl_s,
+            "rmse_at_60": details.rmse_at_60,
+            "rmse_at_80": details.rmse_at_80,
+        },
+        details=details,
     )
 
 
@@ -254,23 +303,44 @@ class Fig7Result:
     frac_above_50s: float
 
 
-def fig7_provider_inconsistency(ctx: Section3Context) -> Fig7Result:
+def fig7_provider_inconsistency(ctx: Section3Context) -> FigureResult:
     sample = provider_inconsistency_sample(ctx.trace)
     cdf = Cdf(sample)
-    return Fig7Result(
+    details = Fig7Result(
         n=len(cdf),
         mean_s=float(sample.mean()),
         frac_below_10s=cdf.at(10.0),
         frac_above_50s=cdf.fraction_above(50.0),
+    )
+    return FigureResult(
+        name="fig7",
+        series={"cdf_points": list(cdf.points(50))},
+        summary={
+            "n": details.n,
+            "mean_s": details.mean_s,
+            "frac_below_10s": details.frac_below_10s,
+            "frac_above_50s": details.frac_above_50s,
+        },
+        details=details,
     )
 
 
 # ----------------------------------------------------------------------
 # Fig. 8
 # ----------------------------------------------------------------------
-def fig8_distance(ctx: Section3Context, band_km: float = 2000.0) -> DistanceAnalysis:
+def fig8_distance(ctx: Section3Context, band_km: float = 2000.0) -> FigureResult:
     """Distance vs consistency ratio (paper: r = 0.11, no real effect)."""
-    return consistency_vs_distance(ctx.trace, band_km=band_km)
+    details = consistency_vs_distance(ctx.trace, band_km=band_km)
+    return FigureResult(
+        name="fig8",
+        params={"band_km": band_km},
+        series={
+            "band_centres_km": list(details.band_centres_km),
+            "band_mean_ratios": list(details.band_mean_ratios),
+        },
+        summary={"pearson_r": details.pearson_r},
+        details=details,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -286,16 +356,27 @@ class Fig9Result:
     max_increment_s: float
 
 
-def fig9_isp(ctx: Section3Context, min_cluster_size: int = 3) -> Fig9Result:
+def fig9_isp(ctx: Section3Context, min_cluster_size: int = 3) -> FigureResult:
     clusters = tuple(isp_inconsistency_analysis(ctx.trace, min_cluster_size))
     increments = tuple(c.increment_mean_s for c in clusters)
     if not increments:
         raise RuntimeError("no ISP clusters of the requested size")
-    return Fig9Result(
+    details = Fig9Result(
         clusters=clusters,
         increments=increments,
         min_increment_s=min(increments),
         max_increment_s=max(increments),
+    )
+    return FigureResult(
+        name="fig9",
+        params={"min_cluster_size": min_cluster_size},
+        series={"increments": list(increments)},
+        summary={
+            "n_clusters": len(clusters),
+            "min_increment_s": details.min_increment_s,
+            "max_increment_s": details.max_increment_s,
+        },
+        details=details,
     )
 
 
@@ -314,20 +395,29 @@ class Fig10Result:
     around_absence: Dict[Tuple[float, float], float]
 
 
-def fig10_absence(ctx: Section3Context) -> Fig10Result:
+def fig10_absence(ctx: Section3Context) -> FigureResult:
     trace = ctx.trace
     responses = provider_response_times(trace)
     response_summary = summarize(responses)
     absences = observed_absence_lengths(trace)
     absence_summary = summarize(absences) if absences.size else None
     frac50 = float(np.mean(absences < 50.0)) if absences.size else 1.0
-    return Fig10Result(
+    details = Fig10Result(
         response_time_summary=response_summary,
         frac_responses_below_1_5s=float(np.mean(responses < 1.5)),
         absence_lengths_summary=absence_summary,
         frac_absences_below_50s=frac50,
         impact_by_absence_bin=absence_impact(trace),
         around_absence=inconsistency_around_absences(trace),
+    )
+    return FigureResult(
+        name="fig10",
+        series={"impact_by_absence_bin": dict(details.impact_by_absence_bin)},
+        summary={
+            "frac_responses_below_1_5s": details.frac_responses_below_1_5s,
+            "frac_absences_below_50s": details.frac_absences_below_50s,
+        },
+        details=details,
     )
 
 
@@ -342,7 +432,9 @@ class Fig11Result:
     mean_rank_churn: float
 
 
-def fig11_static_tree(ctx: Section3Context, min_cluster_size: int = 5) -> Fig11Result:
+def fig11_static_tree(
+    ctx: Section3Context, min_cluster_size: int = 5
+) -> FigureResult:
     trace = ctx.trace
     # Adapt the size threshold downward for small synthetic traces (the
     # paper's clusters A/B have 140/250 servers; CI traces have ~2-8).
@@ -356,8 +448,15 @@ def fig11_static_tree(ctx: Section3Context, min_cluster_size: int = 5) -> Fig11R
         if churns:
             daily = cluster_daily_means(trace, min_cluster_size=size)
             spreads = cluster_mean_spread(daily)
-            return Fig11Result(
+            details = Fig11Result(
                 cluster_spreads=spreads, mean_rank_churn=float(np.mean(churns))
+            )
+            return FigureResult(
+                name="fig11",
+                params={"min_cluster_size": min_cluster_size},
+                series={"cluster_spreads": dict(spreads)},
+                summary={"mean_rank_churn": details.mean_rank_churn},
+                details=details,
             )
     raise RuntimeError("no clusters large enough for the rank test")
 
@@ -373,9 +472,19 @@ class Fig12Result:
     evidence: TreeEvidence
 
 
-def fig12_dynamic_tree(ctx: Section3Context) -> Fig12Result:
+def fig12_dynamic_tree(ctx: Section3Context) -> FigureResult:
     fractions = tuple(max_inconsistency_fractions(ctx.trace))
-    return Fig12Result(
+    details = Fig12Result(
         daily_below_ttl_fractions=fractions,
         evidence=tree_existence_analysis(ctx.trace),
+    )
+    return FigureResult(
+        name="fig12",
+        series={"daily_below_ttl_fractions": list(fractions)},
+        summary={
+            "min_fraction": min(fractions) if fractions else 0.0,
+            "max_fraction": max(fractions) if fractions else 0.0,
+            "tree_likely": details.evidence.tree_likely,
+        },
+        details=details,
     )

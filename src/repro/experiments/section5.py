@@ -5,6 +5,11 @@ servers grouped into 20 geographic clusters, supernodes in a 4-ary Push
 tree.  Six systems are compared: Push / Invalidation / TTL (unicast),
 Self (self-adaptive on unicast), Hybrid (HAT infrastructure + plain TTL
 members), and HAT.
+
+Like Section 4, every sweep expands into :class:`~repro.runner.RunSpec`
+grids (``kind="system"``) executed through a
+:class:`~repro.runner.Runner`, and every driver returns a
+:class:`FigureResult`.
 """
 
 from __future__ import annotations
@@ -12,8 +17,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from ..runner import Runner, RunSpec, run_specs
 from .config import TestbedConfig
-from .testbed import DeploymentMetrics, SYSTEMS, build_system
+from .result import FigureResult
+from .testbed import SYSTEMS
 
 __all__ = [
     "section5_config",
@@ -31,7 +38,27 @@ def section5_config(base: Optional[TestbedConfig] = None, **overrides) -> Testbe
     config = base if base is not None else TestbedConfig()
     settings = dict(server_ttl_s=60.0)
     settings.update(overrides)
-    return config.with_(**settings)
+    return config.with_overrides(**settings)
+
+
+def _system_sweep(
+    config: TestbedConfig,
+    systems: Sequence[str],
+    sweep_values: Sequence[float],
+    override_knob: str,
+    runner: Optional[Runner],
+):
+    """Run every (system, value) cell; yields the grid and the outcome."""
+    grid = [(system, value) for system in systems for value in sweep_values]
+    specs = [
+        RunSpec(
+            config=config.with_overrides(**{override_knob: value}),
+            method=system,
+            kind="system",
+        )
+        for system, value in grid
+    ]
+    return grid, run_specs(specs, runner)
 
 
 # ----------------------------------------------------------------------
@@ -59,16 +86,25 @@ def fig22a_update_messages(
     config: TestbedConfig,
     user_ttls_s: Sequence[float] = (10.0, 20.0, 30.0, 40.0, 50.0, 60.0),
     systems: Sequence[str] = SYSTEMS,
-) -> Fig22aResult:
+    runner: Optional[Runner] = None,
+) -> FigureResult:
     """Fig. 22a (paper ordering: Push > Inval > Hybrid ~ TTL > HAT > Self)."""
-    counts: Dict[str, Dict[float, int]] = {}
-    for system in systems:
-        per_ttl: Dict[float, int] = {}
-        for user_ttl in user_ttls_s:
-            metrics = build_system(config.with_(user_ttl_s=user_ttl), system).run()
-            per_ttl[user_ttl] = metrics.response_messages
-        counts[system] = per_ttl
-    return Fig22aResult(counts=counts)
+    grid, outcome = _system_sweep(config, systems, user_ttls_s, "user_ttl_s", runner)
+    counts: Dict[str, Dict[float, int]] = {system: {} for system in systems}
+    for (system, user_ttl), metrics in zip(grid, outcome.metrics):
+        counts[system][user_ttl] = metrics.response_messages
+    details = Fig22aResult(counts=counts)
+    return FigureResult(
+        name="fig22a",
+        params={"user_ttls_s": list(user_ttls_s), "systems": list(systems)},
+        series=counts,
+        summary={
+            "heaviest_at_%g" % user_ttls_s[0]: details.ordering_at(user_ttls_s[0])[0],
+            "lightest_at_%g" % user_ttls_s[0]: details.ordering_at(user_ttls_s[0])[-1],
+        },
+        details=details,
+        stats=outcome.stats,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -78,20 +114,30 @@ def fig22b_provider_messages(
     config: TestbedConfig,
     server_ttls_s: Sequence[float] = (10.0, 20.0, 30.0, 40.0, 50.0, 60.0),
     systems: Sequence[str] = SYSTEMS,
-) -> Dict[str, Dict[float, int]]:
+    runner: Optional[Runner] = None,
+) -> FigureResult:
     """Fig. 22b: update messages sent by the provider itself.
 
     Paper: Hybrid and HAT are lightest (the provider pushes only to its
     few tree children); TTL/Self grow as the server TTL shrinks.
     """
-    counts: Dict[str, Dict[float, int]] = {}
-    for system in systems:
-        per_ttl: Dict[float, int] = {}
-        for server_ttl in server_ttls_s:
-            metrics = build_system(config.with_(server_ttl_s=server_ttl), system).run()
-            per_ttl[server_ttl] = metrics.provider_response_messages
-        counts[system] = per_ttl
-    return counts
+    grid, outcome = _system_sweep(
+        config, systems, server_ttls_s, "server_ttl_s", runner
+    )
+    counts: Dict[str, Dict[float, int]] = {system: {} for system in systems}
+    for (system, server_ttl), metrics in zip(grid, outcome.metrics):
+        counts[system][server_ttl] = metrics.provider_response_messages
+    return FigureResult(
+        name="fig22b",
+        params={"server_ttls_s": list(server_ttls_s), "systems": list(systems)},
+        series=counts,
+        summary={
+            "lightest_at_%g" % server_ttls_s[-1]: min(
+                counts, key=lambda system: counts[system][server_ttls_s[-1]]
+            )
+        },
+        stats=outcome.stats,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -112,16 +158,29 @@ class Fig23Result:
 
 
 def fig23_network_load(
-    config: TestbedConfig, systems: Sequence[str] = SYSTEMS
-) -> Fig23Result:
+    config: TestbedConfig,
+    systems: Sequence[str] = SYSTEMS,
+    runner: Optional[Runner] = None,
+) -> FigureResult:
     """Fig. 23 (paper: HAT generates the lightest total load)."""
+    specs = [
+        RunSpec(config=config, method=system, kind="system") for system in systems
+    ]
+    outcome = run_specs(specs, runner)
     update_load: Dict[str, float] = {}
     light_load: Dict[str, float] = {}
-    for system in systems:
-        metrics = build_system(config, system).run()
+    for system, metrics in zip(systems, outcome.metrics):
         update_load[system] = metrics.response_load_km
         light_load[system] = metrics.request_load_km
-    return Fig23Result(update_load_km=update_load, light_load_km=light_load)
+    details = Fig23Result(update_load_km=update_load, light_load_km=light_load)
+    return FigureResult(
+        name="fig23",
+        params={"systems": list(systems)},
+        series={"update_load_km": update_load, "light_load_km": light_load},
+        summary={"lightest_total": details.lightest_total()},
+        details=details,
+        stats=outcome.stats,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -131,20 +190,29 @@ def fig24_inconsistency_observations(
     config: TestbedConfig,
     user_ttls_s: Sequence[float] = (10.0, 20.0, 30.0, 40.0, 50.0, 60.0),
     systems: Sequence[str] = SYSTEMS,
-) -> Dict[str, Dict[float, float]]:
+    runner: Optional[Runner] = None,
+) -> FigureResult:
     """Fig. 24: % of observations older than already-seen content, with
     users switching servers on every visit.
 
     Paper ordering: TTL ~ Hybrid > HAT > Self > Push ~ Invalidation ~ 0,
     and all TTL-family curves fall as the end-user TTL grows.
     """
-    fractions: Dict[str, Dict[float, float]] = {}
-    for system in systems:
-        per_ttl: Dict[float, float] = {}
-        for user_ttl in user_ttls_s:
-            metrics = build_system(
-                config.with_(user_ttl_s=user_ttl, user_selector="switch"), system
-            ).run()
-            per_ttl[user_ttl] = metrics.mean_stale_fraction
-        fractions[system] = per_ttl
-    return fractions
+    switching = config.with_overrides(user_selector="switch")
+    grid, outcome = _system_sweep(
+        switching, systems, user_ttls_s, "user_ttl_s", runner
+    )
+    fractions: Dict[str, Dict[float, float]] = {system: {} for system in systems}
+    for (system, user_ttl), metrics in zip(grid, outcome.metrics):
+        fractions[system][user_ttl] = metrics.mean_stale_fraction
+    return FigureResult(
+        name="fig24",
+        params={"user_ttls_s": list(user_ttls_s), "systems": list(systems)},
+        series=fractions,
+        summary={
+            "max_stale_fraction": max(
+                value for per in fractions.values() for value in per.values()
+            )
+        },
+        stats=outcome.stats,
+    )

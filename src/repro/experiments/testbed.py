@@ -25,13 +25,12 @@ from ..cdn.client import EndUserActor, FixedSelector, SwitchEveryVisitSelector
 from ..cdn.content import LiveContent
 from ..cdn.provider import ProviderActor
 from ..cdn.server import ServerActor
-from ..consistency.adaptive import AdaptiveTTLPolicy, SelfAdaptivePolicy
-from ..consistency.broadcast import BroadcastInfrastructure
-from ..consistency.invalidation import InvalidationPolicy
-from ..consistency.multicast import MulticastTreeInfrastructure
-from ..consistency.push import PushPolicy
-from ..consistency.ttl import TTLPolicy
-from ..consistency.unicast import UnicastInfrastructure
+from ..consistency.registry import (
+    infrastructure_names,
+    method_names,
+    resolve_infrastructure,
+    resolve_method,
+)
 from ..core.hat import HatConfig, HatSystem
 from ..metrics.consistency import (
     mean_update_lag,
@@ -55,8 +54,10 @@ __all__ = [
     "build_system",
 ]
 
-METHODS = ("push", "invalidation", "ttl", "self-adaptive", "adaptive-ttl", "dynamic")
-INFRASTRUCTURES = ("unicast", "multicast", "broadcast")
+#: Canonical name lists, derived from the consistency registry (the CLI
+#: and the sweep runner resolve through the same table).
+METHODS = method_names()
+INFRASTRUCTURES = infrastructure_names()
 #: Section 5 systems (Figs. 22-24).
 SYSTEMS = ("push", "invalidation", "ttl", "self", "hybrid", "hat")
 
@@ -83,6 +84,35 @@ class DeploymentMetrics:
     request_load_km: float
     provider_update_messages: int
     provider_messages: int
+    #: Events the simulation kernel processed to produce this run
+    #: (exposed so sweep drivers can report throughput).
+    events_processed: int = 0
+
+    def to_dict(self) -> Dict:
+        """A JSON-safe dict (used by the run registry); exact inverse of
+        :meth:`from_dict` -- floats round-trip bit-identically."""
+        return {
+            "name": self.name,
+            "server_lags": dict(self.server_lags),
+            "user_lags": dict(self.user_lags),
+            "user_stale_fractions": dict(self.user_stale_fractions),
+            "cost_km_kb": self.cost_km_kb,
+            "update_messages": self.update_messages,
+            "light_messages": self.light_messages,
+            "response_messages": self.response_messages,
+            "provider_response_messages": self.provider_response_messages,
+            "update_load_km": self.update_load_km,
+            "light_load_km": self.light_load_km,
+            "response_load_km": self.response_load_km,
+            "request_load_km": self.request_load_km,
+            "provider_update_messages": self.provider_update_messages,
+            "provider_messages": self.provider_messages,
+            "events_processed": self.events_processed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "DeploymentMetrics":
+        return cls(**data)
 
     @property
     def mean_server_lag(self) -> float:
@@ -172,6 +202,7 @@ class Deployment:
             request_load_km=ledger.request_load_km(),
             provider_update_messages=ledger.updates_sent_by("provider"),
             provider_messages=ledger.messages_sent_by("provider"),
+            events_processed=self.env.events_processed,
         )
 
 
@@ -207,53 +238,18 @@ def _make_content(config: TestbedConfig, streams: StreamRegistry) -> LiveContent
 
 def _make_policy(method: str, config: TestbedConfig, streams: StreamRegistry):
     phase = streams.stream("testbed.poll.phase")
-    if method == "push":
-        return PushPolicy(forward=True)
-    if method == "invalidation":
-        return InvalidationPolicy(forward=True)
-    if method == "ttl":
-        return TTLPolicy(config.server_ttl_s, stream=phase)
-    if method == "self-adaptive":
-        return SelfAdaptivePolicy(config.server_ttl_s, stream=phase)
-    if method == "adaptive-ttl":
-        return AdaptiveTTLPolicy(
-            min_ttl_s=config.server_ttl_s,
-            max_ttl_s=8.0 * config.server_ttl_s,
-            stream=phase,
-        )
-    if method == "dynamic":
-        from ..core.dynamic import DynamicPolicy
-
-        return DynamicPolicy(
-            config.server_ttl_s,
-            staleness_tolerance_s=config.server_ttl_s / 2.0,
-            stream=phase,
-        )
-    raise ValueError("unknown method %r (expected one of %s)" % (method, METHODS))
+    return resolve_method(method).factory(config.server_ttl_s, phase)
 
 
 def _wire_provider(provider: ProviderActor, method: str) -> None:
-    if method == "push":
-        provider.use_push()
-    elif method == "invalidation":
-        provider.use_invalidation()
-    elif method == "self-adaptive":
-        provider.use_self_adaptive()
-    elif method == "dynamic":
-        provider.use_dynamic()
-    # ttl / adaptive-ttl: pull-only, the provider just answers polls.
+    hook = resolve_method(method).provider_hook
+    if hook is not None:
+        getattr(provider, hook)()
+    # pull-only methods (ttl / adaptive-ttl): the provider just answers polls.
 
 
 def _make_infrastructure(name: str, config: TestbedConfig, fabric: NetworkFabric):
-    if name == "unicast":
-        return UnicastInfrastructure()
-    if name == "multicast":
-        return MulticastTreeInfrastructure(fabric, arity=config.tree_arity)
-    if name == "broadcast":
-        return BroadcastInfrastructure(fabric)
-    raise ValueError(
-        "unknown infrastructure %r (expected one of %s)" % (name, INFRASTRUCTURES)
-    )
+    return resolve_infrastructure(name).factory(fabric, config.tree_arity)
 
 
 def _make_users(
@@ -295,7 +291,14 @@ def _make_users(
 def build_deployment(
     config: TestbedConfig, method: str, infrastructure: str = "unicast"
 ) -> Deployment:
-    """One Section 4 cell: *method* running on *infrastructure*."""
+    """One Section 4 cell: *method* running on *infrastructure*.
+
+    Names resolve through :mod:`repro.consistency.registry`, so aliases
+    ("self", "inval", "tree", ...) are accepted anywhere a canonical
+    name is.
+    """
+    method = resolve_method(method).name
+    infrastructure = resolve_infrastructure(infrastructure).name
     env, streams, topology, fabric, content = _base(config)
     provider = ProviderActor(env, topology.provider, fabric, content)
     servers = [

@@ -1,0 +1,143 @@
+"""On-disk run registry: memoize finished deployments across invocations.
+
+Format (one JSON file)::
+
+    {
+      "format": 1,
+      "runs": {
+        "<spec-sha256>:<code-version>": {
+          "spec":      {...},   # RunSpec.to_dict()
+          "metrics":   {...},   # DeploymentMetrics.to_dict()
+          "elapsed_s": 1.23,    # wall time of the original execution
+          "created_unix": 1700000000.0
+        },
+        ...
+      }
+    }
+
+Keys combine the spec's content hash with the *code version* -- a hash
+over every ``repro`` source file -- so editing the simulator invalidates
+every cached run while config-identical re-invocations hit.  JSON
+round-trips Python floats exactly, so cached metrics are bit-identical
+to freshly computed ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import time
+from typing import Dict, Optional
+
+from .spec import RunSpec
+
+__all__ = ["RunRegistry", "REGISTRY_ENV", "code_version"]
+
+#: Environment variable naming the registry file; when set, every
+#: :class:`~repro.runner.Runner` built without an explicit registry
+#: memoizes through it.
+REGISTRY_ENV = "REPRO_RUN_REGISTRY"
+
+_FORMAT = 1
+
+_code_version_cache: Optional[str] = None
+
+
+def code_version() -> str:
+    """Hash of every ``repro`` source file (cached per process)."""
+    global _code_version_cache
+    if _code_version_cache is None:
+        package_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        digest = hashlib.sha256()
+        for root, dirs, files in sorted(os.walk(package_root)):
+            dirs[:] = sorted(d for d in dirs if d != "__pycache__")
+            for name in sorted(files):
+                if not name.endswith(".py"):
+                    continue
+                path = os.path.join(root, name)
+                digest.update(os.path.relpath(path, package_root).encode("utf-8"))
+                with open(path, "rb") as handle:
+                    digest.update(handle.read())
+        _code_version_cache = digest.hexdigest()[:16]
+    return _code_version_cache
+
+
+class RunRegistry:
+    """A JSON file of finished runs keyed by spec hash + code version."""
+
+    def __init__(self, path: str, version: Optional[str] = None) -> None:
+        self.path = os.path.abspath(os.path.expanduser(path))
+        self.version = version if version is not None else code_version()
+        self._runs: Dict[str, Dict] = {}
+        self._dirty = False
+        self._load()
+
+    @classmethod
+    def from_env(cls) -> Optional["RunRegistry"]:
+        """The registry named by ``REPRO_RUN_REGISTRY``, if set."""
+        path = os.environ.get(REGISTRY_ENV)
+        return cls(path) if path else None
+
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        try:
+            with open(self.path) as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            return  # missing or corrupt file: start empty
+        if isinstance(data, dict) and data.get("format") == _FORMAT:
+            runs = data.get("runs")
+            if isinstance(runs, dict):
+                self._runs = runs
+
+    def _key(self, spec: RunSpec) -> str:
+        return "%s:%s" % (spec.key(), self.version)
+
+    def __len__(self) -> int:
+        return len(self._runs)
+
+    def __contains__(self, spec: RunSpec) -> bool:
+        return self._key(spec) in self._runs
+
+    def get(self, spec: RunSpec):
+        """The cached :class:`DeploymentMetrics` for *spec*, or ``None``."""
+        entry = self._runs.get(self._key(spec))
+        if entry is None:
+            return None
+        from ..experiments.testbed import DeploymentMetrics
+
+        return DeploymentMetrics.from_dict(entry["metrics"])
+
+    def put(self, spec: RunSpec, metrics, elapsed_s: float) -> None:
+        """Record a finished run (call :meth:`save` to persist)."""
+        self._runs[self._key(spec)] = {
+            "spec": spec.to_dict(),
+            "metrics": metrics.to_dict(),
+            "elapsed_s": float(elapsed_s),
+            "created_unix": time.time(),
+        }
+        self._dirty = True
+
+    def save(self) -> None:
+        """Atomically write the registry back to disk (if changed)."""
+        if not self._dirty:
+            return
+        directory = os.path.dirname(self.path) or "."
+        os.makedirs(directory, exist_ok=True)
+        payload = {"format": _FORMAT, "runs": self._runs}
+        fd, tmp_path = tempfile.mkstemp(
+            prefix=os.path.basename(self.path) + ".", dir=directory
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp_path, self.path)
+        finally:
+            if os.path.exists(tmp_path):  # pragma: no cover - error path
+                try:
+                    os.unlink(tmp_path)
+                except OSError:
+                    pass
+        self._dirty = False

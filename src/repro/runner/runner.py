@@ -1,0 +1,230 @@
+"""Runner: execute a batch of RunSpecs serially or on a process pool."""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from .registry import RunRegistry
+from .spec import RunSpec
+
+__all__ = [
+    "Runner",
+    "RunOutcome",
+    "RunStats",
+    "run_specs",
+    "resolve_workers",
+    "WORKERS_ENV",
+]
+
+#: Environment variable setting the default worker count.  Unset or
+#: ``1`` means serial; ``0`` or ``auto`` means one worker per CPU.
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+def resolve_workers(workers: Union[int, str, None] = None) -> int:
+    """Turn a worker knob (int, "auto", ``None`` -> env) into a count."""
+    if workers is None:
+        workers = os.environ.get(WORKERS_ENV, 1)
+    if isinstance(workers, str):
+        if workers.strip().lower() == "auto":
+            workers = 0
+        else:
+            try:
+                workers = int(workers)
+            except ValueError:
+                raise ValueError(
+                    "workers must be an integer, 0, or 'auto'; got %r" % workers
+                ) from None
+    if workers <= 0:
+        workers = multiprocessing.cpu_count()
+    return max(1, int(workers))
+
+
+@dataclass
+class RunStats:
+    """Counters for one :meth:`Runner.run` batch."""
+
+    n_specs: int
+    executed: int
+    cache_hits: int
+    workers: int
+    wall_time_s: float
+    #: Sum of per-deployment execution times (>= wall time when the
+    #: pool overlaps work).
+    busy_time_s: float
+    #: Simulator events processed by the deployments executed in this
+    #: batch (cache hits did no simulation work).
+    events_processed: int
+
+    @property
+    def worker_utilization(self) -> float:
+        """busy / (workers * wall); 1.0 means the pool never idled."""
+        denominator = self.workers * self.wall_time_s
+        if denominator <= 0.0:
+            return 0.0
+        return min(1.0, self.busy_time_s / denominator)
+
+    def to_dict(self) -> Dict:
+        return {
+            "n_specs": self.n_specs,
+            "executed": self.executed,
+            "cache_hits": self.cache_hits,
+            "workers": self.workers,
+            "wall_time_s": self.wall_time_s,
+            "busy_time_s": self.busy_time_s,
+            "events_processed": self.events_processed,
+            "worker_utilization": self.worker_utilization,
+        }
+
+    def summary(self) -> str:
+        """One line for CLI / log output."""
+        return (
+            "ran %d deployment(s) (%d cache hit(s)) in %.2f s with %d "
+            "worker(s); utilization %.0f%%; %d simulator events"
+            % (
+                self.executed,
+                self.cache_hits,
+                self.wall_time_s,
+                self.workers,
+                100.0 * self.worker_utilization,
+                self.events_processed,
+            )
+        )
+
+
+@dataclass
+class RunOutcome:
+    """Metrics for a batch of specs, merged back in spec order."""
+
+    specs: List[RunSpec]
+    metrics: List  # List[DeploymentMetrics], aligned with ``specs``
+    stats: RunStats
+
+    def __len__(self) -> int:
+        return len(self.metrics)
+
+    def __iter__(self):
+        return iter(self.metrics)
+
+    def __getitem__(self, index):
+        return self.metrics[index]
+
+    def pairs(self) -> List[Tuple[RunSpec, object]]:
+        return list(zip(self.specs, self.metrics))
+
+
+def _execute_spec(spec: RunSpec):
+    """Top-level worker entry point (must be picklable for spawn)."""
+    started = time.perf_counter()
+    metrics = spec.execute()
+    return metrics, time.perf_counter() - started
+
+
+class Runner:
+    """Executes batches of :class:`RunSpec`, optionally in parallel and
+    optionally memoized through a :class:`RunRegistry`.
+
+    Parameters
+    ----------
+    workers:
+        ``None`` reads ``REPRO_WORKERS`` (default 1 = serial); ``0`` or
+        ``"auto"`` uses one worker per CPU.  With one worker the pool is
+        bypassed entirely (serial fallback).
+    registry:
+        ``None`` reads ``REPRO_RUN_REGISTRY`` (no memoization when
+        unset); a path string opens/creates a registry there; ``False``
+        disables memoization even if the environment variable is set.
+    start_method:
+        ``multiprocessing`` start method; defaults to ``fork`` where
+        available (cheap on Linux) and the platform default elsewhere.
+    """
+
+    def __init__(
+        self,
+        workers: Union[int, str, None] = None,
+        registry: Union[RunRegistry, str, None, bool] = None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        self.workers = resolve_workers(workers)
+        if registry is None:
+            self.registry: Optional[RunRegistry] = RunRegistry.from_env()
+        elif registry is False:
+            self.registry = None
+        elif isinstance(registry, RunRegistry):
+            self.registry = registry
+        else:
+            self.registry = RunRegistry(str(registry))
+        if start_method is None:
+            available = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in available else available[0]
+        self.start_method = start_method
+
+    # ------------------------------------------------------------------
+    def run_one(self, spec: RunSpec):
+        """Run a single spec (serially); returns its metrics."""
+        return self.run([spec]).metrics[0]
+
+    def run(self, specs: Iterable[RunSpec]) -> RunOutcome:
+        """Execute every spec; metrics come back in spec order.
+
+        Results are bit-identical regardless of worker count or cache
+        state: each deployment is deterministic given its spec, and the
+        registry stores exact float round-trips.
+        """
+        specs = list(specs)
+        started = time.perf_counter()
+        metrics: List = [None] * len(specs)
+
+        pending: List[Tuple[int, RunSpec]] = []
+        cache_hits = 0
+        for index, spec in enumerate(specs):
+            cached = self.registry.get(spec) if self.registry is not None else None
+            if cached is not None:
+                metrics[index] = cached
+                cache_hits += 1
+            else:
+                pending.append((index, spec))
+
+        busy = 0.0
+        events = 0
+        if pending:
+            outputs = self._execute([spec for _, spec in pending])
+            for (index, spec), (result, elapsed) in zip(pending, outputs):
+                metrics[index] = result
+                busy += elapsed
+                events += result.events_processed
+                if self.registry is not None:
+                    self.registry.put(spec, result, elapsed)
+            if self.registry is not None:
+                self.registry.save()
+
+        stats = RunStats(
+            n_specs=len(specs),
+            executed=len(pending),
+            cache_hits=cache_hits,
+            workers=self.workers,
+            wall_time_s=time.perf_counter() - started,
+            busy_time_s=busy,
+            events_processed=events,
+        )
+        return RunOutcome(specs=specs, metrics=metrics, stats=stats)
+
+    def _execute(self, specs: Sequence[RunSpec]) -> List:
+        if self.workers > 1 and len(specs) > 1:
+            context = multiprocessing.get_context(self.start_method)
+            pool_size = min(self.workers, len(specs))
+            with context.Pool(pool_size) as pool:
+                # chunksize=1: deployments are coarse, balance the load.
+                return pool.map(_execute_spec, specs, chunksize=1)
+        return [_execute_spec(spec) for spec in specs]
+
+
+def run_specs(
+    specs: Iterable[RunSpec], runner: Optional[Runner] = None
+) -> RunOutcome:
+    """Run *specs* through *runner* (or a default-configured one)."""
+    return (runner if runner is not None else Runner()).run(specs)

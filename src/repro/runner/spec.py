@@ -1,0 +1,96 @@
+"""RunSpec: one deployment-to-run, as pure hashable data."""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict
+
+from ..experiments.config import TestbedConfig
+
+__all__ = ["RunSpec"]
+
+#: The two kinds of deployment the testbed can build.
+KINDS = ("deployment", "system")
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Everything needed to (re)build and run one deployment.
+
+    ``kind="deployment"`` runs *method* on *infrastructure* (the
+    Section 4 grid via
+    :func:`~repro.experiments.testbed.build_deployment`);
+    ``kind="system"`` runs one of the Section 5 named systems via
+    :func:`~repro.experiments.testbed.build_system`, in which case
+    *method* is the system name and *infrastructure* is ignored.
+
+    Specs are frozen, hashable (by content hash) and JSON-round-trip
+    exactly, so they can key the on-disk run registry and cross process
+    boundaries.
+    """
+
+    config: TestbedConfig
+    method: str
+    infrastructure: str = "unicast"
+    kind: str = "deployment"
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(
+                "kind must be one of %s, not %r" % (KINDS, self.kind)
+            )
+
+    # ------------------------------------------------------------------
+    # identity / serialization
+    # ------------------------------------------------------------------
+    @property
+    def label(self) -> str:
+        """Human-readable one-liner (``push/unicast seed=0``)."""
+        if self.kind == "system":
+            return "system:%s seed=%d" % (self.method, self.config.seed)
+        return "%s/%s seed=%d" % (self.method, self.infrastructure, self.config.seed)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "method": self.method,
+            "infrastructure": self.infrastructure,
+            "config": asdict(self.config),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunSpec":
+        return cls(
+            config=TestbedConfig(**data["config"]),
+            method=data["method"],
+            infrastructure=data.get("infrastructure", "unicast"),
+            kind=data.get("kind", "deployment"),
+        )
+
+    def key(self) -> str:
+        """Content hash -- identical specs share a key, any knob change
+        (including the seed) produces a new one."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def __hash__(self) -> int:
+        return int(self.key()[:16], 16)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def build(self):
+        """Wire the deployment this spec describes (not yet run)."""
+        # Imported lazily: repro.experiments' figure drivers import this
+        # package at module level.
+        from ..experiments.testbed import build_deployment, build_system
+
+        if self.kind == "system":
+            return build_system(self.config, self.method)
+        return build_deployment(self.config, self.method, self.infrastructure)
+
+    def execute(self):
+        """Build and run to the config's horizon; returns the metrics."""
+        return self.build().run()

@@ -185,6 +185,7 @@ class Environment:
         self._now = float(initial_time)
         self._queue: List[Any] = []  # heap of (time, priority, seq, event)
         self._eid = 0
+        self._events_processed = 0
         self._active_proc: Optional[Any] = None
 
     # ------------------------------------------------------------------
@@ -199,6 +200,11 @@ class Environment:
     def active_process(self):
         """The process currently being resumed (or ``None``)."""
         return self._active_proc
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events this environment has processed so far."""
+        return self._events_processed
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none remain."""
@@ -228,6 +234,7 @@ class Environment:
         callbacks, event.callbacks = event.callbacks, None
         if callbacks is None:  # pragma: no cover - cancelled event
             return
+        self._events_processed += 1
         for callback in callbacks:
             callback(event)
 

@@ -23,6 +23,21 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["advise", "--servers", "10"])
 
+    def test_evaluate_accepts_registry_aliases(self):
+        args = build_parser().parse_args(["evaluate", "--method", "inval"])
+        assert args.method == "inval"
+
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.command == "sweep"
+        assert args.methods == ["push", "invalidation", "ttl"]
+        assert args.infrastructures == ["unicast"]
+        assert args.workers is None and args.registry is None
+
+    def test_sweep_rejects_unknown_method(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--methods", "smoke-signals"])
+
 
 class TestCommands:
     def test_measure_runs(self, capsys, tmp_path):
@@ -66,6 +81,37 @@ class TestCommands:
         )
         assert code == 0
         assert "recommendation: push" in capsys.readouterr().out
+
+    def test_sweep_runs_grid(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--methods", "push", "ttl",
+                "--server-ttls", "10", "20",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "push/unicast" in out and "ttl/unicast" in out
+        assert "ran 4 deployment(s) (0 cache hit(s))" in out
+
+    def test_sweep_second_run_hits_registry(self, capsys, tmp_path):
+        registry = str(tmp_path / "runs.json")
+        argv = ["sweep", "--methods", "push", "--registry", registry]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "ran 1 deployment(s) (0 cache hit(s))" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "ran 0 deployment(s) (1 cache hit(s))" in second
+        # cached metrics are bit-identical: the result rows match exactly
+        assert first.splitlines()[1] == second.splitlines()[1]
+
+    def test_sweep_systems_mode(self, capsys):
+        code = main(["sweep", "--systems", "hat", "push"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "system:hat" in out and "system:push" in out
 
     def test_advise_bursty(self, capsys):
         code = main(

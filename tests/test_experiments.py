@@ -46,6 +46,18 @@ class TestConfig:
         assert config.server_ttl_s != 42.0
         assert changed.n_servers == config.n_servers
 
+    def test_with_overrides_rejects_unknown_knobs(self):
+        config = ci_scale()
+        with pytest.raises(ValueError) as excinfo:
+            config.with_overrides(server_tll_s=42.0)
+        message = str(excinfo.value)
+        assert "server_tll_s" in message
+        assert "server_ttl_s" in message  # did-you-mean hint
+
+    def test_fields_are_keyword_only(self):
+        with pytest.raises(TypeError):
+            TestbedConfig(170)  # positional construction is an error
+
     def test_run_horizon_includes_slack(self):
         config = smoke_scale()
         assert config.run_horizon_s > config.update_start_s + config.game_duration_s

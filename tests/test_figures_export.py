@@ -3,6 +3,7 @@ EXPERIMENTS.md report generator (at micro scale)."""
 
 import csv
 import io
+import json
 import os
 
 import pytest
@@ -43,12 +44,31 @@ class TestExportAll:
         assert "fig17_cost_vs_ttl.csv" in names
         assert "fig22a_update_messages.csv" in names
         assert "fig24_stale_observations.csv" in names
-        assert len(names) == len(set(names)) >= 9
+        assert "figures.json" in names
+        assert len(names) == len(set(names)) >= 10
         for path in written:
+            if path.endswith(".json"):
+                continue
             with open(path) as handle:
                 rows = list(csv.reader(handle))
             assert len(rows) >= 2          # header + data
             assert all(len(r) == len(rows[0]) for r in rows)
+
+    def test_manifest_covers_every_figure(self, micro_scale, tmp_path):
+        out_dir = str(tmp_path / "figures")
+        written = export_all(out_dir, micro_scale)
+        manifest_path = next(p for p in written if p.endswith("figures.json"))
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        assert set(manifest) == {
+            "fig3", "fig5", "fig6", "fig14", "fig15", "fig16", "fig17",
+            "fig20", "fig22a", "fig24",
+        }
+        for name, entry in manifest.items():
+            assert entry["name"] == name
+            assert "series" in entry and "summary" in entry
+        # sweeps carry their run statistics
+        assert manifest["fig17"]["stats"]["n_specs"] == 6
 
     def test_cdf_csv_is_monotone(self, micro_scale, tmp_path):
         out_dir = str(tmp_path / "figures")
@@ -74,6 +94,7 @@ class TestReportGeneration:
             assert figure in markdown, "missing %s" % figure
         assert "micro (test scale)" in markdown
         assert "paper" in markdown
+        assert "## Run statistics" in markdown
         # progress lines went to the log, not the report
         assert "[report]" in log.getvalue()
         assert "[report]" not in markdown

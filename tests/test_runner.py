@@ -1,0 +1,181 @@
+"""Tests for the parallel experiment runner and the run registry."""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments import smoke_scale
+from repro.experiments.section4 import fig14_unicast_inconsistency
+from repro.runner import (
+    REGISTRY_ENV,
+    Runner,
+    RunRegistry,
+    RunSpec,
+    WORKERS_ENV,
+    code_version,
+    resolve_workers,
+    run_specs,
+)
+
+
+@pytest.fixture
+def grid_specs(smoke_config):
+    """8 independent deployments: 2 methods x 2 infras x 2 TTLs."""
+    return [
+        RunSpec(
+            config=smoke_config.with_overrides(server_ttl_s=ttl),
+            method=method,
+            infrastructure=infrastructure,
+        )
+        for method in ("push", "ttl")
+        for infrastructure in ("unicast", "multicast")
+        for ttl in (10.0, 20.0)
+    ]
+
+
+class TestRunSpec:
+    def test_key_is_stable_and_content_addressed(self, smoke_config):
+        a = RunSpec(config=smoke_config, method="ttl")
+        b = RunSpec(config=smoke_config.with_overrides(), method="ttl")
+        assert a.key() == b.key()
+        assert a == b and hash(a) == hash(b)
+        changed = RunSpec(
+            config=smoke_config.with_overrides(seed=1), method="ttl"
+        )
+        assert changed.key() != a.key()
+
+    def test_roundtrips_through_dict(self, smoke_config):
+        spec = RunSpec(
+            config=smoke_config, method="push", infrastructure="multicast"
+        )
+        again = RunSpec.from_dict(spec.to_dict())
+        assert again == spec
+        assert again.key() == spec.key()
+
+    def test_rejects_unknown_kind(self, smoke_config):
+        with pytest.raises(ValueError):
+            RunSpec(config=smoke_config, method="ttl", kind="daydream")
+
+    def test_labels(self, smoke_config):
+        assert (
+            RunSpec(config=smoke_config, method="ttl").label
+            == "ttl/unicast seed=0"
+        )
+        assert (
+            RunSpec(config=smoke_config, method="hat", kind="system").label
+            == "system:hat seed=0"
+        )
+
+
+class TestResolveWorkers:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert resolve_workers() == 1
+
+    def test_env_sets_default(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "3")
+        assert resolve_workers() == 3
+        assert resolve_workers(2) == 2  # explicit beats env
+
+    def test_auto_uses_cpu_count(self, monkeypatch):
+        import multiprocessing
+
+        assert resolve_workers("auto") == multiprocessing.cpu_count()
+        assert resolve_workers(0) == multiprocessing.cpu_count()
+
+
+class TestRunnerDeterminism:
+    def test_parallel_matches_serial_bit_for_bit(self, grid_specs):
+        serial = Runner(workers=1, registry=False).run(grid_specs)
+        parallel = Runner(workers=4, registry=False).run(grid_specs)
+        assert serial.stats.executed == parallel.stats.executed == 8
+        for left, right in zip(serial.metrics, parallel.metrics):
+            assert left.to_dict() == right.to_dict()
+
+    def test_metrics_come_back_in_spec_order(self, grid_specs):
+        outcome = Runner(workers=4, registry=False).run(grid_specs)
+        for spec, metrics in outcome.pairs():
+            assert metrics.name.startswith(spec.method)
+
+    def test_stats_counters(self, grid_specs):
+        outcome = Runner(workers=1, registry=False).run(grid_specs[:2])
+        stats = outcome.stats
+        assert stats.n_specs == 2 and stats.executed == 2
+        assert stats.cache_hits == 0
+        assert stats.events_processed > 0
+        assert stats.busy_time_s > 0 and stats.wall_time_s > 0
+        assert 0.0 < stats.worker_utilization <= 1.0
+        assert "2 deployment(s)" in stats.summary()
+
+
+class TestRunRegistry:
+    def test_second_run_rebuilds_nothing(self, grid_specs, tmp_path):
+        path = str(tmp_path / "runs.json")
+        first = Runner(workers=1, registry=path).run(grid_specs)
+        assert first.stats.executed == 8 and first.stats.cache_hits == 0
+        second = Runner(workers=1, registry=path).run(grid_specs)
+        assert second.stats.executed == 0 and second.stats.cache_hits == 8
+        for fresh, cached in zip(first.metrics, second.metrics):
+            assert fresh.to_dict() == cached.to_dict()
+
+    def test_code_version_invalidates(self, smoke_config, tmp_path):
+        path = str(tmp_path / "runs.json")
+        spec = RunSpec(config=smoke_config, method="push")
+        Runner(workers=1, registry=RunRegistry(path)).run([spec])
+        stale = RunRegistry(path, version="something-else")
+        assert stale.get(spec) is None
+        outcome = Runner(workers=1, registry=stale).run([spec])
+        assert outcome.stats.executed == 1
+
+    def test_corrupt_registry_file_is_ignored(self, smoke_config, tmp_path):
+        path = str(tmp_path / "runs.json")
+        with open(path, "w") as handle:
+            handle.write("{ not json")
+        spec = RunSpec(config=smoke_config, method="push")
+        outcome = Runner(workers=1, registry=path).run([spec])
+        assert outcome.stats.executed == 1
+        # and the save() repaired the file
+        with open(path) as handle:
+            data = json.load(handle)
+        assert data["format"] == 1 and len(data["runs"]) == 1
+
+    def test_registry_env_var(self, smoke_config, tmp_path, monkeypatch):
+        path = str(tmp_path / "env_runs.json")
+        monkeypatch.setenv(REGISTRY_ENV, path)
+        spec = RunSpec(config=smoke_config, method="push")
+        Runner(workers=1).run([spec])
+        assert os.path.exists(path)
+        outcome = Runner(workers=1).run([spec])
+        assert outcome.stats.cache_hits == 1
+        monkeypatch.delenv(REGISTRY_ENV)
+        no_registry = Runner(workers=1)
+        assert no_registry.registry is None
+
+    def test_registry_false_disables(self, smoke_config, tmp_path, monkeypatch):
+        monkeypatch.setenv(REGISTRY_ENV, str(tmp_path / "ignored.json"))
+        runner = Runner(workers=1, registry=False)
+        assert runner.registry is None
+
+    def test_code_version_is_cached_and_hexish(self):
+        version = code_version()
+        assert version == code_version()
+        assert len(version) == 16
+        int(version, 16)  # raises if not hex
+
+
+class TestDriverIntegration:
+    def test_driver_level_cache_hits(self, smoke_config, tmp_path):
+        runner = Runner(workers=1, registry=str(tmp_path / "runs.json"))
+        first = fig14_unicast_inconsistency(smoke_config, runner=runner)
+        assert first.stats.executed == 3
+        second = fig14_unicast_inconsistency(smoke_config, runner=runner)
+        assert second.stats.executed == 0 and second.stats.cache_hits == 3
+        assert first.to_dict()["series"] == second.to_dict()["series"]
+
+    def test_run_specs_default_runner(self, smoke_config, monkeypatch):
+        monkeypatch.delenv(REGISTRY_ENV, raising=False)
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        outcome = run_specs([RunSpec(config=smoke_config, method="push")])
+        assert len(outcome) == 1
+        assert outcome.stats.workers == 1

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.experiments import (
+    FigureResult,
     fig3_inconsistency_cdf,
     fig4_user_perspective,
     fig5_inner_cluster,
@@ -115,7 +116,8 @@ class TestSection5Drivers:
         result = fig22a_update_messages(
             config, user_ttls_s=(20.0,), systems=("push", "ttl", "self")
         )
-        assert isinstance(result, Fig22aResult)
+        assert isinstance(result, FigureResult)
+        assert isinstance(result.details, Fig22aResult)
         ordering = result.ordering_at(20.0)
         assert set(ordering) == {"push", "ttl", "self"}
         assert ordering[0] == "push"  # heaviest first
@@ -127,3 +129,39 @@ class TestSection5Drivers:
         )
         assert 0.0 <= result["ttl"][10.0] <= 1.0
         assert result["push"][10.0] <= result["ttl"][10.0]
+
+
+class TestFigureResultUniformity:
+    """Every driver returns the one FigureResult shape (satellite 1)."""
+
+    def test_section3_drivers_return_figure_results(self, tiny_context):
+        for driver in (fig3_inconsistency_cdf, fig5_inner_cluster, fig8_distance):
+            result = driver(tiny_context)
+            assert isinstance(result, FigureResult)
+            assert result.name.startswith("fig")
+            assert result.series and result.summary
+            assert result.stats is None  # trace analysis runs no deployments
+
+    def test_section4_driver_reports_run_stats(self, smoke_config):
+        result = fig14_unicast_inconsistency(smoke_config)
+        assert isinstance(result, FigureResult)
+        assert result.stats.n_specs == 3
+        assert result.stats.executed + result.stats.cache_hits == 3
+
+    def test_to_dict_is_json_safe(self, smoke_config):
+        import json
+
+        result = fig17_cost_vs_ttl(smoke_config, ttls_s=(10.0, 40.0))
+        data = result.to_dict()
+        round_tripped = json.loads(json.dumps(data))
+        assert round_tripped["name"] == "fig17"
+        assert set(round_tripped["series"]) == {"unicast", "multicast"}
+        assert round_tripped["stats"]["n_specs"] == 4
+
+    def test_attribute_fallthrough_and_mapping(self, tiny_context):
+        result = fig3_inconsistency_cdf(tiny_context)
+        # mapping protocol reads series; attributes reach the details
+        assert "cdf_points" in result
+        assert result["cdf_points"] == list(result.details.cdf_points)
+        with pytest.raises(AttributeError):
+            result.no_such_attribute
