@@ -3,7 +3,7 @@
 
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: smoke lint test bench report
+.PHONY: smoke lint test bench report trace-demo
 
 lint:
 	python -m compileall -q src
@@ -19,3 +19,10 @@ bench:
 
 report:
 	PYTHONPATH=src python examples/regenerate_experiments.py --scale small
+
+# One traced smoke deployment: poll rounds as JSONL plus the per-layer
+# cause-attribution table (stderr).
+trace-demo:
+	PYTHONPATH=src python -m repro trace --method ttl --servers 8 \
+		--users-per-server 1 --updates 12 --duration 400 \
+		--kind poll_round msg_drop node_down node_up --attribution

@@ -105,6 +105,12 @@ class Actor:
         for event in result.keys():
             if event is waiter:
                 return event.value
+        tracer = self.env.tracer
+        if tracer.enabled:
+            tracer.emit(
+                self.env.now, "msg_timeout", self.node.node_id,
+                **message.trace_detail()
+            )
         return None
 
     # ------------------------------------------------------------------

@@ -127,8 +127,14 @@ class EndUserActor(Actor):
                 self.content.light_size_kb,
                 timeout=self.request_timeout_s,
             )
+            tracer = self.env.tracer
             if response is None:
                 self.failed_visits += 1
+                if tracer.enabled:
+                    tracer.emit(
+                        self.env.now, "visit_timeout", self.node.node_id,
+                        server=target.node_id,
+                    )
             else:
                 self.observations.append(
                     Observation(
@@ -137,5 +143,10 @@ class EndUserActor(Actor):
                         server_id=target.node_id,
                     )
                 )
+                if tracer.enabled:
+                    tracer.emit(
+                        self.env.now, "visit", self.node.node_id,
+                        server=target.node_id, version=response.version,
+                    )
             visit_index += 1
             yield self.env.timeout(self.user_ttl_s)

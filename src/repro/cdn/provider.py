@@ -79,6 +79,11 @@ class ProviderActor(Actor, UpdateSourceMixin):
             if delay > 0:
                 yield self.env.timeout(delay)
             self._version = index
+            tracer = self.env.tracer
+            if tracer.enabled:
+                tracer.emit(
+                    self.env.now, "content_update", self.node.node_id, version=index
+                )
             for hook in self.on_update_hooks:
                 hook(index)
 

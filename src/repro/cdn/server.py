@@ -106,13 +106,26 @@ class ServerActor(Actor, UpdateSourceMixin):
     def apply_version(self, version: int, ttl: float = float("inf")) -> bool:
         """Store *version*; returns ``True`` (and fires hooks) if newer."""
         newer = self.cache.store(self.content.content_id, version, self.env.now, ttl)
+        tracer = self.env.tracer
+        if tracer.enabled:
+            tracer.emit(
+                self.env.now, "cache_store", self.node.node_id,
+                version=version, newer=newer,
+            )
         if newer:
             for hook in self.on_apply_hooks:
                 hook(version)
         return newer
 
     def mark_invalidated(self, version: Optional[int]) -> bool:
-        return self.cache.invalidate(self.content.content_id, version)
+        stale = self.cache.invalidate(self.content.content_id, version)
+        tracer = self.env.tracer
+        if tracer.enabled:
+            tracer.emit(
+                self.env.now, "cache_invalidate", self.node.node_id,
+                version=version, stale=stale,
+            )
+        return stale
 
     def apply_log(self):
         """(time, version) cache-write history for metrics."""
@@ -163,7 +176,13 @@ def schedule_absence(env: Environment, node: NetworkNode, start: float, duration
 
     Models the server overloads / failures of Section 3.4.5: a down node
     neither transmits nor receives; in-flight messages to it are dropped.
-    Returns the injection process.
+    Overlapping windows nest: each window counts one active absence
+    (:meth:`~repro.network.node.NetworkNode.mark_down` /
+    :meth:`~repro.network.node.NetworkNode.mark_up`), so the node is up
+    again only when *every* overlapping window has ended -- the first
+    window's end no longer revives a node another window still holds
+    down.  Up/down transitions are traced as ``node_down`` /
+    ``node_up``.  Returns the injection process.
     """
     if duration <= 0:
         raise ValueError("duration must be positive")
@@ -171,8 +190,8 @@ def schedule_absence(env: Environment, node: NetworkNode, start: float, duration
     def injector():
         if start > env.now:
             yield env.timeout(start - env.now)
-        node.is_up = False
+        node.mark_down()
         yield env.timeout(duration)
-        node.is_up = True
+        node.mark_up()
 
     return env.process(injector())

@@ -1,12 +1,13 @@
 """Command-line interface.
 
-Five subcommands mirroring the paper's workflow::
+Six subcommands mirroring the paper's workflow::
 
     python -m repro measure    # Section 3: synthesize + analyse a crawl
     python -m repro evaluate   # Section 4: one method on one infrastructure
     python -m repro sweep      # a grid of deployments through the runner
     python -m repro advise     # guidance: recommend a method from rates
     python -m repro report     # regenerate the EXPERIMENTS.md report
+    python -m repro trace      # run one traced deployment, dump JSONL events
 
 ``sweep`` and ``report`` accept ``--workers`` (or ``REPRO_WORKERS``) to
 fan deployments over a process pool, and ``--registry`` (or
@@ -52,6 +53,7 @@ def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
 
 def build_parser() -> argparse.ArgumentParser:
     from .consistency.registry import infrastructure_choices, method_choices
+    from .obs.tracer import EVENT_KINDS
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -120,6 +122,56 @@ def build_parser() -> argparse.ArgumentParser:
                         help="staleness tolerance in seconds")
     advise.add_argument("--silence-fraction", type=float, default=0.0)
     advise.add_argument("--update-size-kb", type=float, default=10.0)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run one traced deployment and dump its structured events "
+        "as JSON Lines",
+    )
+    trace.add_argument("--method", default="ttl", choices=method_choices())
+    trace.add_argument(
+        "--infrastructure", default="unicast", choices=infrastructure_choices()
+    )
+    trace.add_argument(
+        "--system", default=None,
+        choices=("push", "invalidation", "ttl", "self", "hybrid", "hat"),
+        help="trace a full Section 5 system instead of a "
+        "method x infrastructure cell",
+    )
+    trace.add_argument("--servers", type=int, default=20)
+    trace.add_argument("--users-per-server", type=int, default=2)
+    trace.add_argument("--updates", type=int, default=30)
+    trace.add_argument("--duration", type=float, default=876.0)
+    trace.add_argument("--server-ttl", type=float, default=10.0)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument(
+        "--node", default=None, metavar="NODE_ID",
+        help="only events attributed to this node",
+    )
+    trace.add_argument(
+        "--kind", nargs="+", default=None, choices=sorted(EVENT_KINDS),
+        metavar="KIND", help="only these event kinds (see repro.obs.tracer)",
+    )
+    trace.add_argument(
+        "--since", type=float, default=None, metavar="SECONDS",
+        help="only events at or after this simulated time",
+    )
+    trace.add_argument(
+        "--until", type=float, default=None, metavar="SECONDS",
+        help="only events strictly before this simulated time",
+    )
+    trace.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="write at most N events",
+    )
+    trace.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write JSONL here instead of stdout",
+    )
+    trace.add_argument(
+        "--attribution", action="store_true",
+        help="also print the per-layer cause-attribution table (stderr)",
+    )
 
     report = sub.add_parser("report", help="regenerate the EXPERIMENTS.md report")
     report.add_argument("--scale", choices=("small", "medium"), default="small")
@@ -263,6 +315,57 @@ def _cmd_advise(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .experiments import TestbedConfig, build_deployment, build_system
+    from .obs.attribution import format_attribution_table
+    from .obs.tracer import RecordingTracer
+
+    config = TestbedConfig(
+        n_servers=args.servers,
+        users_per_server=args.users_per_server,
+        n_updates=args.updates,
+        game_duration_s=args.duration,
+        server_ttl_s=args.server_ttl,
+        seed=args.seed,
+    )
+    tracer = RecordingTracer()
+    if args.system is not None:
+        deployment = build_system(config, args.system, tracer=tracer)
+    else:
+        deployment = build_deployment(
+            config, args.method, args.infrastructure, tracer=tracer
+        )
+    metrics = deployment.run()
+
+    filters = dict(
+        node=args.node,
+        kinds=args.kind,
+        since=args.since,
+        until=args.until,
+    )
+    if args.out:
+        with open(args.out, "w") as handle:
+            written = tracer.dump_jsonl(handle, limit=args.limit, **filters)
+    else:
+        written = tracer.dump_jsonl(sys.stdout, limit=args.limit, **filters)
+
+    log = sys.stderr
+    log.write("deployment: %s\n" % metrics.name)
+    log.write(
+        "trace: %d event(s) recorded, %d written%s\n"
+        % (len(tracer), written, " to %s" % args.out if args.out else "")
+    )
+    counts = tracer.kind_counts()
+    log.write(
+        "kinds: %s\n"
+        % ", ".join("%s=%d" % (kind, counts[kind]) for kind in sorted(counts))
+    )
+    if args.attribution:
+        for line in format_attribution_table({metrics.name: metrics}):
+            log.write(line + "\n")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from .experiments.report import ReportScale, generate_report
     from .runner import Runner
@@ -286,6 +389,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "advise": _cmd_advise,
     "report": _cmd_report,
+    "trace": _cmd_trace,
 }
 
 

@@ -82,6 +82,11 @@ class SelfAdaptivePolicy(ServerPolicy):
             # --- switch to Invalidation --------------------------------
             self.switches_to_invalidation += 1
             self.mode = MODE_INVALIDATION
+            if env.tracer.enabled:
+                env.tracer.emit(
+                    env.now, "mode_switch", server.node.node_id,
+                    mode=MODE_INVALIDATION,
+                )
             server.send(
                 MessageKind.SWITCH_NOTICE,
                 server.upstream,
@@ -104,6 +109,10 @@ class SelfAdaptivePolicy(ServerPolicy):
 
             # --- back to TTL --------------------------------------------
             self.switches_to_ttl += 1
+            if env.tracer.enabled:
+                env.tracer.emit(
+                    env.now, "mode_switch", server.node.node_id, mode=MODE_TTL
+                )
             server.send(
                 MessageKind.SWITCH_NOTICE,
                 server.upstream,

@@ -58,6 +58,12 @@ class InvalidationPolicy(ServerPolicy):
             )
             if response is not None:
                 server.apply_version(response.version)
+            tracer = server.env.tracer
+            if tracer.enabled:
+                tracer.emit(
+                    server.env.now, "fetch_round", server.node.node_id,
+                    recovered=response is not None,
+                )
         finally:
             inflight, self._fetch_inflight = self._fetch_inflight, None
             inflight.succeed()

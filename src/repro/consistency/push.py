@@ -27,4 +27,11 @@ class PushPolicy(ServerPolicy):
     def on_push(self, message: Message) -> None:
         newer = self.server.apply_version(message.version)
         if newer and self.forward:
-            self.server.push_children(message.version)
+            server = self.server
+            tracer = server.env.tracer
+            if tracer.enabled and server.children:
+                tracer.emit(
+                    server.env.now, "push_relay", server.node.node_id,
+                    version=message.version, children=len(server.children),
+                )
+            server.push_children(message.version)

@@ -57,12 +57,21 @@ class TTLPolicy(ServerPolicy):
         return self.stream.uniform(0.0, self.ttl_s)
 
     def _poll_loop(self) -> Generator:
+        env = self.server.env
         offset = self._initial_offset()
         if offset > 0:
-            yield self.server.env.timeout(offset)
+            yield env.timeout(offset)
         while True:
+            # The sleep is measured from the *start* of the poll, so the
+            # period stays anchored at one TTL even when the poll itself
+            # takes time.  Sleeping a full TTL *after* a timed-out poll
+            # (default poll_timeout_s == ttl_s) used to double the
+            # effective period to ~2xTTL exactly when the upstream was
+            # absent -- the paper's Fig. 10 scenario.
+            poll_started = env.now
             yield from self.poll_once()
-            yield self.server.env.timeout(self.ttl_s)
+            elapsed = env.now - poll_started
+            yield env.timeout(max(0.0, self.ttl_s - elapsed))
 
     def poll_once(self) -> Generator:
         """One poll round-trip; returns True if an update was received."""
@@ -74,10 +83,21 @@ class TTLPolicy(ServerPolicy):
             payload={"have": server.cached_version},
             timeout=self.poll_timeout_s,
         )
+        tracer = server.env.tracer
         if response is None:
+            if tracer.enabled:
+                tracer.emit(
+                    server.env.now, "poll_round", server.node.node_id,
+                    got_update=False, timed_out=True,
+                )
             return False
         if response.kind is MessageKind.POLL_RESPONSE:
             server.apply_version(response.version, ttl=self.ttl_s)
+            if tracer.enabled:
+                tracer.emit(
+                    server.env.now, "poll_round", server.node.node_id,
+                    got_update=True, timed_out=False,
+                )
             return True
         # Not modified: refresh the entry's TTL without a new body.
         server.cache.store(
@@ -86,6 +106,11 @@ class TTLPolicy(ServerPolicy):
             server.env.now,
             self.ttl_s,
         )
+        if tracer.enabled:
+            tracer.emit(
+                server.env.now, "poll_round", server.node.node_id,
+                got_update=False, timed_out=False,
+            )
         return False
 
     # ------------------------------------------------------------------
@@ -98,9 +123,20 @@ class TTLPolicy(ServerPolicy):
         if self.eager:
             return
         server = self.server
+        tracer = server.env.tracer
         entry = server.cache.entry(server.content.content_id)
         if entry.is_fresh(server.env.now):
+            if tracer.enabled:
+                tracer.emit(
+                    server.env.now, "cache_hit", server.node.node_id,
+                    version=entry.version,
+                )
             return
+        if tracer.enabled:
+            tracer.emit(
+                server.env.now, "cache_expired", server.node.node_id,
+                version=entry.version,
+            )
         if self._poll_inflight is not None:
             yield self._poll_inflight
             return

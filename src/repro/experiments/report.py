@@ -12,6 +12,7 @@ import sys
 import time
 from typing import Dict, List, Optional, Sequence, TextIO
 
+from ..obs.attribution import format_attribution_table
 from ..runner import Runner
 from ..trace.synthesize import SynthesisConfig
 from .config import TestbedConfig, ci_scale
@@ -343,6 +344,13 @@ def generate_report(
         )
     out("| ordering | Push < Inval < TTL | %s |  |" % " < ".join(f14.server_lag_ordering()))
     out("")
+    for line in format_attribution_table(
+        f14.details.metrics,
+        title="Cause attribution (per-layer staleness contribution, "
+        "mirroring Figs. 6-10):",
+    ):
+        out(line)
+    out("")
 
     progress("fig15")
     f15 = fig15_multicast_inconsistency(scale.section4, runner=runner)
@@ -489,6 +497,13 @@ def generate_report(
             )
         )
     out("| paper | HAT generates the lightest total load | measured lightest: %s | |" % f23.lightest_total())
+    out("")
+    for line in format_attribution_table(
+        f23.details.metrics,
+        title="Cause attribution (per-layer staleness contribution, "
+        "mirroring Figs. 6-10):",
+    ):
+        out(line)
     out("")
 
     progress("fig24")

@@ -14,7 +14,7 @@ grids (``kind="system"``) executed through a
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..runner import Runner, RunSpec, run_specs
@@ -149,6 +149,8 @@ class Fig23Result:
 
     update_load_km: Dict[str, float]
     light_load_km: Dict[str, float]
+    #: Raw per-system metrics (cause-attribution tables read these).
+    metrics: Dict[str, object] = field(default_factory=dict)
 
     def total_load_km(self, system: str) -> float:
         return self.update_load_km[system] + self.light_load_km[system]
@@ -169,10 +171,14 @@ def fig23_network_load(
     outcome = run_specs(specs, runner)
     update_load: Dict[str, float] = {}
     light_load: Dict[str, float] = {}
+    by_system: Dict[str, object] = {}
     for system, metrics in zip(systems, outcome.metrics):
         update_load[system] = metrics.response_load_km
         light_load[system] = metrics.request_load_km
-    details = Fig23Result(update_load_km=update_load, light_load_km=light_load)
+        by_system[system] = metrics
+    details = Fig23Result(
+        update_load_km=update_load, light_load_km=light_load, metrics=by_system
+    )
     return FigureResult(
         name="fig23",
         params={"systems": list(systems)},

@@ -39,6 +39,8 @@ from ..metrics.consistency import (
 from ..metrics.traffic import TrafficLedger
 from ..network.link import NetworkFabric
 from ..network.topology import Topology, TopologyBuilder
+from ..obs.counters import staleness_histogram
+from ..obs.tracer import Tracer
 from ..sim.engine import Environment
 from ..sim.rng import StreamRegistry
 from ..trace.workload import LiveGameWorkload
@@ -87,6 +89,30 @@ class DeploymentMetrics:
     #: Events the simulation kernel processed to produce this run
     #: (exposed so sweep drivers can report throughput).
     events_processed: int = 0
+    # ---- observability layer (repro.obs): per-layer fabric counters ----
+    #: Messages per ledger category (``update`` / ``light``), as counted
+    #: on the wire; reconciles 1:1 with traced ``msg_send`` events.
+    message_counts: Dict[str, int] = field(default_factory=dict)
+    #: Messages dropped because the sender or receiver was down.
+    dropped_messages: int = 0
+    #: Traffic that crossed an ISP boundary (Section 3.4.3).
+    isp_crossing_messages: int = 0
+    isp_crossing_kb: float = 0.0
+    #: Summed one-way delay components over all propagated messages.
+    isp_penalty_s: float = 0.0
+    propagation_s: float = 0.0
+    #: Summed sender-side time (port queueing + overhead + transmission).
+    queueing_s: float = 0.0
+    #: KB per directed link, keyed ``"src->dst"``.
+    link_bytes_kb: Dict[str, float] = field(default_factory=dict)
+    #: Summed downtime over every node (failure injection), seconds.
+    node_downtime_s: float = 0.0
+    #: Up -> down transitions across all nodes.
+    down_transitions: int = 0
+    #: Per-server staleness histogram (see
+    #: :func:`repro.obs.counters.staleness_histogram`).
+    staleness_hist_edges: List[float] = field(default_factory=list)
+    staleness_hist_counts: List[int] = field(default_factory=list)
 
     def to_dict(self) -> Dict:
         """A JSON-safe dict (used by the run registry); exact inverse of
@@ -108,6 +134,18 @@ class DeploymentMetrics:
             "provider_update_messages": self.provider_update_messages,
             "provider_messages": self.provider_messages,
             "events_processed": self.events_processed,
+            "message_counts": dict(self.message_counts),
+            "dropped_messages": self.dropped_messages,
+            "isp_crossing_messages": self.isp_crossing_messages,
+            "isp_crossing_kb": self.isp_crossing_kb,
+            "isp_penalty_s": self.isp_penalty_s,
+            "propagation_s": self.propagation_s,
+            "queueing_s": self.queueing_s,
+            "link_bytes_kb": dict(self.link_bytes_kb),
+            "node_downtime_s": self.node_downtime_s,
+            "down_transitions": self.down_transitions,
+            "staleness_hist_edges": list(self.staleness_hist_edges),
+            "staleness_hist_counts": list(self.staleness_hist_counts),
         }
 
     @classmethod
@@ -170,8 +208,16 @@ class Deployment:
         self.env.run(until=horizon)
         return self._collect(horizon)
 
+    def _all_nodes(self):
+        yield self.provider.node
+        for server in self.servers:
+            yield server.node
+        for user in self.users:
+            yield user.node
+
     def _collect(self, horizon: float) -> DeploymentMetrics:
         ledger = self.fabric.ledger
+        counters = self.fabric.counters
         server_lags = {
             server.node.node_id: mean_update_lag(
                 self.content, server.apply_log(), censor_at=horizon
@@ -186,6 +232,7 @@ class Deployment:
                 self.content, log, censor_at=horizon
             )
             stale[user.node.node_id] = stale_observation_fraction(user.observations)
+        hist_edges, hist_counts = staleness_histogram(list(server_lags.values()))
         return DeploymentMetrics(
             name=self.name,
             server_lags=server_lags,
@@ -203,14 +250,33 @@ class Deployment:
             provider_update_messages=ledger.updates_sent_by("provider"),
             provider_messages=ledger.messages_sent_by("provider"),
             events_processed=self.env.events_processed,
+            message_counts={
+                "update": ledger.update_message_count(),
+                "light": ledger.light_message_count(),
+            },
+            dropped_messages=counters.dropped_messages,
+            isp_crossing_messages=counters.isp_crossing_messages,
+            isp_crossing_kb=counters.isp_crossing_kb,
+            isp_penalty_s=counters.isp_penalty_s,
+            propagation_s=counters.propagation_s,
+            queueing_s=counters.queueing_s,
+            link_bytes_kb=dict(counters.link_bytes_kb),
+            node_downtime_s=sum(
+                node.downtime_s(horizon) for node in self._all_nodes()
+            ),
+            down_transitions=sum(
+                node.down_transitions for node in self._all_nodes()
+            ),
+            staleness_hist_edges=hist_edges,
+            staleness_hist_counts=hist_counts,
         )
 
 
 # ----------------------------------------------------------------------
 # shared construction pieces
 # ----------------------------------------------------------------------
-def _base(config: TestbedConfig):
-    env = Environment()
+def _base(config: TestbedConfig, tracer: Optional[Tracer] = None):
+    env = Environment(tracer=tracer)
     streams = StreamRegistry(config.seed)
     builder = TopologyBuilder(env, streams)
     topology = builder.build(
@@ -289,17 +355,21 @@ def _make_users(
 # entry points
 # ----------------------------------------------------------------------
 def build_deployment(
-    config: TestbedConfig, method: str, infrastructure: str = "unicast"
+    config: TestbedConfig,
+    method: str,
+    infrastructure: str = "unicast",
+    tracer: Optional[Tracer] = None,
 ) -> Deployment:
     """One Section 4 cell: *method* running on *infrastructure*.
 
     Names resolve through :mod:`repro.consistency.registry`, so aliases
     ("self", "inval", "tree", ...) are accepted anywhere a canonical
-    name is.
+    name is.  Pass a :class:`~repro.obs.tracer.RecordingTracer` as
+    *tracer* to capture structured events (outcomes are unaffected).
     """
     method = resolve_method(method).name
     infrastructure = resolve_infrastructure(infrastructure).name
-    env, streams, topology, fabric, content = _base(config)
+    env, streams, topology, fabric, content = _base(config, tracer=tracer)
     provider = ProviderActor(env, topology.provider, fabric, content)
     servers = [
         ServerActor(
@@ -325,16 +395,20 @@ def build_deployment(
     )
 
 
-def build_system(config: TestbedConfig, system: str) -> Deployment:
+def build_system(
+    config: TestbedConfig, system: str, tracer: Optional[Tracer] = None
+) -> Deployment:
     """One Section 5 system (Figs. 22-24)."""
     if system in ("push", "invalidation", "ttl"):
-        return build_deployment(config, system, "unicast")
+        return build_deployment(config, system, "unicast", tracer=tracer)
     if system == "self":
-        deployment = build_deployment(config, "self-adaptive", "unicast")
+        deployment = build_deployment(
+            config, "self-adaptive", "unicast", tracer=tracer
+        )
         deployment.name = "self"
         return deployment
     if system in ("hybrid", "hat"):
-        env, streams, topology, fabric, content = _base(config)
+        env, streams, topology, fabric, content = _base(config, tracer=tracer)
         hat = HatSystem(
             env,
             fabric,

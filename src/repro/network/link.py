@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..metrics.traffic import TrafficLedger
+from ..obs.counters import FabricCounters
 from ..sim.engine import Environment, Event
 from ..sim.rng import RandomStream, StreamRegistry
 from .isp import InterISPModel
@@ -77,6 +78,8 @@ class NetworkFabric:
         self._isp_stream: RandomStream = streams.stream("fabric.isp")
         #: Messages dropped because the receiver was down.
         self.dropped = 0
+        #: Always-on per-layer accounting (see :mod:`repro.obs.counters`).
+        self.counters = FabricCounters()
 
     # ------------------------------------------------------------------
     # delay model
@@ -90,11 +93,16 @@ class NetworkFabric:
         distance = src.distance_km(dst) * self.params.path_stretch
         return self.params.base_latency_s + distance / self.params.speed_km_per_s
 
-    def _one_way_delay(self, src: NetworkNode, dst: NetworkNode) -> float:
+    def _delay_components(self, src: NetworkNode, dst: NetworkNode) -> "tuple[float, float]":
+        """One-way delay split into (propagation incl. jitter, ISP penalty)."""
         base = self.min_latency_s(src, dst)
         jitter = self._jitter_stream.jitter(base, self.params.latency_jitter_frac) - base
         penalty = self.params.inter_isp.penalty(src.isp, dst.isp, self._isp_stream)
-        return max(0.0, base + jitter) + penalty
+        return max(0.0, base + jitter), penalty
+
+    def _one_way_delay(self, src: NetworkNode, dst: NetworkNode) -> float:
+        propagation, penalty = self._delay_components(src, dst)
+        return propagation + penalty
 
     # ------------------------------------------------------------------
     # transport
@@ -112,29 +120,57 @@ class NetworkFabric:
     def _transfer(self, message: Message):
         src: NetworkNode = message.src
         dst: NetworkNode = message.dst
+        counters = self.counters
+        tracer = self.env.tracer
         if not src.is_up:
             self.dropped += 1
+            counters.dropped_sender_down += 1
+            if tracer.enabled:
+                tracer.emit(
+                    self.env.now, "msg_drop", src.node_id,
+                    reason="sender_down", **message.trace_detail()
+                )
             return False
 
         # 1-2. Queue on, then occupy, the sender's output port.
+        entered_port = self.env.now
         with src.output_port.request() as grant:
             yield grant
             yield self.env.timeout(
                 self.params.per_message_overhead_s
                 + src.transmission_delay(message.size_kb)
             )
+        counters.queueing_s += self.env.now - entered_port
 
         # The bytes have left the sender: account for them.
         distance = src.distance_km(dst)
         self.ledger.record(message, distance)
+        counters.record_sent(src.node_id, dst.node_id, message.size_kb)
+        if tracer.enabled:
+            tracer.emit(
+                self.env.now, "msg_send", src.node_id, **message.trace_detail()
+            )
 
         # 3-4. Propagate (incl. possible inter-ISP penalty).
-        yield self.env.timeout(self._one_way_delay(src, dst))
+        propagation, penalty = self._delay_components(src, dst)
+        counters.record_propagation(propagation, penalty, message.size_kb)
+        yield self.env.timeout(propagation + penalty)
 
         if not dst.is_up:
             self.dropped += 1
+            counters.dropped_receiver_down += 1
+            if tracer.enabled:
+                tracer.emit(
+                    self.env.now, "msg_drop", dst.node_id,
+                    reason="receiver_down", **message.trace_detail()
+                )
             return False
         dst.inbox.put(message)
+        counters.messages_delivered += 1
+        if tracer.enabled:
+            tracer.emit(
+                self.env.now, "msg_recv", dst.node_id, **message.trace_detail()
+            )
         return True
 
     def rtt_s(self, a: NetworkNode, b: NetworkNode) -> float:

@@ -100,6 +100,18 @@ class Message:
         """``True`` if the message belongs to consistency maintenance."""
         return self.is_update or self.is_light
 
+    def trace_detail(self) -> dict:
+        """The structured-trace payload describing this message (see
+        :mod:`repro.obs.tracer`)."""
+        return {
+            "msg": self.kind.value,
+            "src": getattr(self.src, "node_id", str(self.src)),
+            "dst": getattr(self.dst, "node_id", str(self.dst)),
+            "kb": self.size_kb,
+            "version": self.version,
+            "seq": self.seq,
+        }
+
     def __repr__(self) -> str:
         return "Message(%s, %s->%s, v=%s, %.1fKB)" % (
             self.kind.value,

@@ -54,11 +54,77 @@ class NetworkNode:
         self.output_port = Resource(env, capacity=1)
         #: Inbox: the fabric delivers received messages into this store.
         self.inbox: Store = Store(env)
-        #: Set by failure injection; a down node neither sends nor receives.
-        self.is_up = True
+        #: Number of currently active absences.  The node is up only
+        #: while this is zero, so overlapping failure-injection windows
+        #: nest instead of the first window's end reviving the node
+        #: while the second is still active.
+        self._down_count = 0
+        self._down_since: Optional[float] = None
+        self._downtime_s = 0.0
+        #: Up->down transitions observed (counts merged windows once).
+        self.down_transitions = 0
 
     def __repr__(self) -> str:
         return "NetworkNode(%s @ %s)" % (self.node_id, self.city_name or self.point)
+
+    # ------------------------------------------------------------------
+    # up/down state (failure injection, Section 3.4.5)
+    # ------------------------------------------------------------------
+    @property
+    def is_up(self) -> bool:
+        """``True`` while no absence is active; a down node neither
+        sends nor receives."""
+        return self._down_count == 0
+
+    @is_up.setter
+    def is_up(self, value: bool) -> None:
+        """Force the node's state (legacy direct flips, e.g. permanent
+        HAT supernode failures).  Prefer :meth:`mark_down` /
+        :meth:`mark_up` for nestable absence windows."""
+        if value:
+            if self._down_count:
+                self._down_count = 0
+                self._transition(up=True)
+        else:
+            if self._down_count == 0:
+                self._down_count = 1
+                self._transition(up=False)
+
+    def mark_down(self) -> None:
+        """Begin one absence window (nests with overlapping windows)."""
+        self._down_count += 1
+        if self._down_count == 1:
+            self._transition(up=False)
+
+    def mark_up(self) -> None:
+        """End one absence window; the node revives only when every
+        active window has ended (tolerates a forced ``is_up = True``
+        having already cleared the count)."""
+        if self._down_count == 0:
+            return
+        self._down_count -= 1
+        if self._down_count == 0:
+            self._transition(up=True)
+
+    def _transition(self, up: bool) -> None:
+        now = self.env.now
+        if up:
+            if self._down_since is not None:
+                self._downtime_s += now - self._down_since
+                self._down_since = None
+        else:
+            self.down_transitions += 1
+            self._down_since = now
+        tracer = self.env.tracer
+        if tracer.enabled:
+            tracer.emit(now, "node_up" if up else "node_down", self.node_id)
+
+    def downtime_s(self, now: Optional[float] = None) -> float:
+        """Total seconds spent down, including any open absence."""
+        total = self._downtime_s
+        if self._down_since is not None:
+            total += (now if now is not None else self.env.now) - self._down_since
+        return total
 
     def distance_km(self, other: "NetworkNode") -> float:
         """Great-circle distance to another node."""

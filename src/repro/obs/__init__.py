@@ -1,0 +1,44 @@
+"""Observability: structured tracing, per-layer counters, cause attribution.
+
+The paper's cause analysis (Sections 3.4.2-3.4.5) attributes observed
+inconsistency to concrete mechanisms -- TTL expiry, propagation
+distance, inter-ISP hops, provider bandwidth, server failures.  This
+package gives the simulator the same per-event visibility:
+
+- :mod:`repro.obs.tracer` -- a :class:`Tracer` attached to the sim
+  :class:`~repro.sim.engine.Environment`.  The default
+  :data:`NULL_TRACER` is a no-op (no per-event allocation on the off
+  path); :class:`RecordingTracer` records structured
+  :class:`TraceEvent` rows and can dump them as JSONL with filtering.
+- :mod:`repro.obs.counters` -- :class:`FabricCounters`, the always-on
+  per-layer accounting (per-link and per-ISP-crossing bytes, queueing /
+  propagation / inter-ISP seconds, drops) aggregated into
+  :class:`~repro.experiments.testbed.DeploymentMetrics`.  Counters are
+  independent of the tracer, so metrics are bit-identical with tracing
+  on or off.
+- :mod:`repro.obs.attribution` -- turns one deployment's counters into
+  the per-layer cause-attribution table mirroring the paper's
+  Figs. 6-10 breakdown.
+"""
+
+from .attribution import attribution_components, format_attribution_table
+from .counters import FabricCounters, staleness_histogram
+from .tracer import (
+    EVENT_KINDS,
+    NULL_TRACER,
+    RecordingTracer,
+    Tracer,
+    TraceEvent,
+)
+
+__all__ = [
+    "Tracer",
+    "TraceEvent",
+    "RecordingTracer",
+    "NULL_TRACER",
+    "EVENT_KINDS",
+    "FabricCounters",
+    "staleness_histogram",
+    "attribution_components",
+    "format_attribution_table",
+]

@@ -1,0 +1,93 @@
+"""Cause attribution: which layer contributed the observed staleness.
+
+Mirrors the paper's Sections 3.4.2-3.4.5 breakdown (Figs. 6-10): the
+mean server inconsistency of a run is decomposed into the *measured*
+network components every update had to traverse -- sender queueing /
+transmission (provider bandwidth, Fig. 10), distance-driven propagation
+(Fig. 8) and inter-ISP handoffs (Fig. 9) -- with the remainder
+attributed to the update method's own wait (TTL expiry / visit wait,
+Fig. 6), alongside the failure-injection context (absences, drops,
+Fig. 10).
+
+Everything is computed from the always-on
+:class:`~repro.obs.counters.FabricCounters` totals carried by
+:class:`~repro.experiments.testbed.DeploymentMetrics`; no tracing is
+required.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+__all__ = ["attribution_components", "format_attribution_table"]
+
+
+def attribution_components(metrics) -> Dict[str, float]:
+    """Per-layer decomposition of one deployment's staleness.
+
+    Returns a dict with, per consistency-relevant layer, the *mean
+    seconds per message* each network layer added (``propagation_s``,
+    ``inter_isp_s``, ``sender_queueing_s``), the residual attributed to
+    the update method (``policy_wait_s``, clamped at zero), and run
+    context (``mean_server_lag_s``, ``isp_crossing_fraction``,
+    ``dropped_messages``, ``node_downtime_s``).
+    """
+    sent = sum(metrics.message_counts.values()) if metrics.message_counts else 0
+    per_message = 1.0 / sent if sent else 0.0
+    propagation = metrics.propagation_s * per_message
+    inter_isp = metrics.isp_penalty_s * per_message
+    queueing = metrics.queueing_s * per_message
+    lag = metrics.mean_server_lag
+    policy_wait = max(0.0, lag - propagation - inter_isp - queueing)
+    return {
+        "mean_server_lag_s": lag,
+        "propagation_s": propagation,
+        "inter_isp_s": inter_isp,
+        "sender_queueing_s": queueing,
+        "policy_wait_s": policy_wait,
+        "isp_crossing_fraction": (
+            metrics.isp_crossing_messages * per_message if sent else 0.0
+        ),
+        "dropped_messages": float(metrics.dropped_messages),
+        "node_downtime_s": metrics.node_downtime_s,
+    }
+
+
+#: (column header, component key, format) of the printed table.
+_COLUMNS: Tuple[Tuple[str, str, str], ...] = (
+    ("server lag (s)", "mean_server_lag_s", "%.3f"),
+    ("policy wait (s)", "policy_wait_s", "%.3f"),
+    ("queueing (s)", "sender_queueing_s", "%.4f"),
+    ("propagation (s)", "propagation_s", "%.4f"),
+    ("inter-ISP (s)", "inter_isp_s", "%.4f"),
+    ("ISP-crossing", "isp_crossing_fraction", "%.1f%%"),
+    ("drops", "dropped_messages", "%d"),
+    ("downtime (s)", "node_downtime_s", "%.1f"),
+)
+
+
+def format_attribution_table(
+    metrics_by_label: Dict[str, object],
+    title: str = "Cause attribution (per-layer staleness contribution)",
+) -> List[str]:
+    """Markdown table lines, one row per labelled deployment.
+
+    Per-message means for the network layers, the policy-wait residual,
+    and the failure context -- the shape of the paper's Fig. 6-10 story,
+    printed under each figure.
+    """
+    lines = [title, "", "| run | " + " | ".join(c[0] for c in _COLUMNS) + " |"]
+    lines.append("|---|" + "---|" * len(_COLUMNS))
+    for label, metrics in metrics_by_label.items():
+        components = attribution_components(metrics)
+        cells = []
+        for _, key, fmt in _COLUMNS:
+            value = components[key]
+            if fmt.endswith("%%"):
+                cells.append(fmt % (100.0 * value))
+            elif fmt == "%d":
+                cells.append(fmt % int(value))
+            else:
+                cells.append(fmt % value)
+        lines.append("| %s | %s |" % (label, " | ".join(cells)))
+    return lines

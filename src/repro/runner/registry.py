@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import tempfile
 import time
@@ -34,6 +35,8 @@ from typing import Dict, Optional
 from .spec import RunSpec
 
 __all__ = ["RunRegistry", "REGISTRY_ENV", "code_version"]
+
+logger = logging.getLogger(__name__)
 
 #: Environment variable naming the registry file; when set, every
 #: :class:`~repro.runner.Runner` built without an explicit registry
@@ -72,6 +75,10 @@ class RunRegistry:
         self.version = version if version is not None else code_version()
         self._runs: Dict[str, Dict] = {}
         self._dirty = False
+        #: On-disk entries merged in by :meth:`save` over this
+        #: registry's lifetime (runs another process persisted between
+        #: our load and our save -- e.g. two concurrent sweeps).
+        self.merged_entries = 0
         self._load()
 
     @classmethod
@@ -81,16 +88,41 @@ class RunRegistry:
         return cls(path) if path else None
 
     # ------------------------------------------------------------------
-    def _load(self) -> None:
+    def _read_runs(self) -> Optional[Dict[str, Dict]]:
+        """The ``runs`` table currently on disk, or ``None``.
+
+        A missing file is normal (fresh registry).  An unreadable or
+        unparsable file is *not* silently discarded -- it may hold hours
+        of memoized runs -- so it is moved aside to ``<path>.corrupt``
+        and a warning names both paths.
+        """
         try:
             with open(self.path) as handle:
                 data = json.load(handle)
-        except (OSError, ValueError):
-            return  # missing or corrupt file: start empty
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError) as error:
+            backup = self.path + ".corrupt"
+            try:
+                os.replace(self.path, backup)
+            except OSError:  # pragma: no cover - backup best-effort
+                backup = "<backup failed>"
+            logger.warning(
+                "run registry %s is unreadable (%s); starting empty, "
+                "the original file was preserved at %s",
+                self.path, error, backup,
+            )
+            return None
         if isinstance(data, dict) and data.get("format") == _FORMAT:
             runs = data.get("runs")
             if isinstance(runs, dict):
-                self._runs = runs
+                return runs
+        return None
+
+    def _load(self) -> None:
+        runs = self._read_runs()
+        if runs is not None:
+            self._runs = runs
 
     def _key(self, spec: RunSpec) -> str:
         return "%s:%s" % (spec.key(), self.version)
@@ -120,10 +152,32 @@ class RunRegistry:
         }
         self._dirty = True
 
-    def save(self) -> None:
-        """Atomically write the registry back to disk (if changed)."""
+    def save(self) -> int:
+        """Atomically write the registry back to disk (if changed).
+
+        The on-disk file is re-read and merged first: runs another
+        process saved since our load are kept instead of being
+        overwritten (two sweeps sharing ``REPRO_RUN_REGISTRY`` used to
+        be last-writer-wins, silently dropping one sweep's runs).  Our
+        in-memory entries win on key collisions (they are the freshest
+        execution).  Returns the number of merged-in entries, also
+        accumulated on :attr:`merged_entries`.
+        """
         if not self._dirty:
-            return
+            return 0
+        merged = 0
+        on_disk = self._read_runs()
+        if on_disk:
+            for key, entry in on_disk.items():
+                if key not in self._runs:
+                    self._runs[key] = entry
+                    merged += 1
+        if merged:
+            self.merged_entries += merged
+            logger.info(
+                "run registry %s: merged %d concurrent entr%s from disk",
+                self.path, merged, "y" if merged == 1 else "ies",
+            )
         directory = os.path.dirname(self.path) or "."
         os.makedirs(directory, exist_ok=True)
         payload = {"format": _FORMAT, "runs": self._runs}
@@ -141,3 +195,4 @@ class RunRegistry:
                 except OSError:
                     pass
         self._dirty = False
+        return merged

@@ -59,6 +59,14 @@ class RunStats:
     #: Simulator events processed by the deployments executed in this
     #: batch (cache hits did no simulation work).
     events_processed: int
+    #: Messages sent across the fabric by the executed deployments
+    #: (update + light messages; cache hits contribute nothing).
+    messages: int = 0
+    #: Messages dropped by the fabric (sender or receiver down).
+    dropped_messages: int = 0
+    #: Registry entries merged in from disk at save time (runs another
+    #: concurrent process persisted between our load and our save).
+    registry_merged: int = 0
 
     @property
     def worker_utilization(self) -> float:
@@ -77,14 +85,18 @@ class RunStats:
             "wall_time_s": self.wall_time_s,
             "busy_time_s": self.busy_time_s,
             "events_processed": self.events_processed,
+            "messages": self.messages,
+            "dropped_messages": self.dropped_messages,
+            "registry_merged": self.registry_merged,
             "worker_utilization": self.worker_utilization,
         }
 
     def summary(self) -> str:
         """One line for CLI / log output."""
-        return (
+        line = (
             "ran %d deployment(s) (%d cache hit(s)) in %.2f s with %d "
-            "worker(s); utilization %.0f%%; %d simulator events"
+            "worker(s); utilization %.0f%%; %d simulator events; "
+            "%d message(s), %d dropped"
             % (
                 self.executed,
                 self.cache_hits,
@@ -92,8 +104,16 @@ class RunStats:
                 self.workers,
                 100.0 * self.worker_utilization,
                 self.events_processed,
+                self.messages,
+                self.dropped_messages,
             )
         )
+        if self.registry_merged:
+            line += "; merged %d registry entr%s" % (
+                self.registry_merged,
+                "y" if self.registry_merged == 1 else "ies",
+            )
+        return line
 
 
 @dataclass
@@ -191,16 +211,21 @@ class Runner:
 
         busy = 0.0
         events = 0
+        messages = 0
+        dropped = 0
+        merged = 0
         if pending:
             outputs = self._execute([spec for _, spec in pending])
             for (index, spec), (result, elapsed) in zip(pending, outputs):
                 metrics[index] = result
                 busy += elapsed
                 events += result.events_processed
+                messages += result.update_messages + result.light_messages
+                dropped += getattr(result, "dropped_messages", 0)
                 if self.registry is not None:
                     self.registry.put(spec, result, elapsed)
             if self.registry is not None:
-                self.registry.save()
+                merged = self.registry.save()
 
         stats = RunStats(
             n_specs=len(specs),
@@ -210,6 +235,9 @@ class Runner:
             wall_time_s=time.perf_counter() - started,
             busy_time_s=busy,
             events_processed=events,
+            messages=messages,
+            dropped_messages=dropped,
+            registry_merged=merged,
         )
         return RunOutcome(specs=specs, metrics=metrics, stats=stats)
 

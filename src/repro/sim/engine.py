@@ -179,14 +179,26 @@ class Timeout(Event):
 
 
 class Environment:
-    """Execution environment: simulation clock plus the event queue."""
+    """Execution environment: simulation clock plus the event queue.
 
-    def __init__(self, initial_time: float = 0.0) -> None:
+    ``tracer`` is the observability hook (see :mod:`repro.obs.tracer`):
+    instrumented call sites throughout the stack guard on
+    ``env.tracer.enabled``, so the default no-op tracer costs one
+    attribute read and a branch per instrumented site.  Tracers never
+    schedule events or touch RNG state, so attaching one cannot change
+    any simulated outcome.
+    """
+
+    def __init__(self, initial_time: float = 0.0, tracer: Optional[Any] = None) -> None:
+        from ..obs.tracer import NULL_TRACER
+
         self._now = float(initial_time)
         self._queue: List[Any] = []  # heap of (time, priority, seq, event)
         self._eid = 0
         self._events_processed = 0
         self._active_proc: Optional[Any] = None
+        #: Observability hook; NULL_TRACER (a shared no-op) by default.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     # ------------------------------------------------------------------
     # introspection
