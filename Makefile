@@ -3,7 +3,7 @@
 
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: smoke lint test bench report trace-demo
+.PHONY: smoke lint test bench bench-engine bench-section4 bench-all report trace-demo
 
 lint:
 	python -m compileall -q src
@@ -14,7 +14,21 @@ smoke: lint
 test:
 	$(PYTEST) -q tests/
 
-bench:
+# Benchmark trajectory: writes BENCH_engine.json / BENCH_section4.json
+# at the repo root and gates on gross (>3x) regressions.  See
+# docs/performance.md.
+bench: bench-engine bench-section4
+	python benchmarks/check_bench.py BENCH_engine.json BENCH_section4.json
+
+bench-engine:
+	$(PYTEST) benchmarks/test_bench_engine.py --benchmark-only \
+		--benchmark-json=BENCH_engine.json
+
+bench-section4:
+	$(PYTEST) benchmarks/test_bench_section4.py --benchmark-only \
+		--benchmark-json=BENCH_section4.json
+
+bench-all:
 	$(PYTEST) benchmarks/ --benchmark-only
 
 report:

@@ -1,0 +1,115 @@
+"""Benchmark-trajectory gate for BENCH_*.json files.
+
+Reads the ``--benchmark-json`` output of ``make bench``, prints a
+compact table (name, min/mean, any recorded throughput extra_info), and
+enforces two soft gates meant for noisy CI runners:
+
+- the transport fast path must not regress to worse than
+  ``1 / --max-regression`` of the legacy path's throughput (default 3x:
+  only a gross regression fails the job -- the >= 2x target is asserted
+  at benchmark time and recorded in extra_info);
+- optionally, against a ``--baseline`` JSON from an earlier run, no
+  benchmark's min time may grow by more than ``--max-regression``.
+
+Exit status 0 on pass, 1 on any gate failure, 2 on unreadable input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except (OSError, ValueError) as exc:
+        print("check_bench: cannot read %s: %s" % (path, exc), file=sys.stderr)
+        sys.exit(2)
+
+
+def iter_benchmarks(doc):
+    for bench in doc.get("benchmarks", []):
+        yield bench["name"], bench
+
+
+def report(path, doc):
+    print("== %s ==" % path)
+    for name, bench in iter_benchmarks(doc):
+        stats = bench["stats"]
+        line = "  %-40s min %8.2f ms  mean %8.2f ms" % (
+            name, stats["min"] * 1e3, stats["mean"] * 1e3
+        )
+        extra = bench.get("extra_info") or {}
+        if "transport_speedup" in extra:
+            line += "  speedup %.2fx (%d msgs, %.0f msg/s fast)" % (
+                extra["transport_speedup"],
+                extra.get("messages", 0),
+                extra.get("fast_msgs_per_s", 0.0),
+            )
+        print(line)
+
+
+def check_transport(doc, max_regression):
+    """The only intra-run gate: fast transport vs its legacy baseline."""
+    failures = []
+    for name, bench in iter_benchmarks(doc):
+        extra = bench.get("extra_info") or {}
+        speedup = extra.get("transport_speedup")
+        if speedup is None:
+            continue
+        floor = 1.0 / max_regression
+        if speedup < floor:
+            failures.append(
+                "%s: fast transport at %.2fx of legacy throughput "
+                "(> %.1fx regression)" % (name, speedup, max_regression)
+            )
+    return failures
+
+
+def check_baseline(doc, baseline, max_regression):
+    base = {name: bench for name, bench in iter_benchmarks(baseline)}
+    failures = []
+    for name, bench in iter_benchmarks(doc):
+        if name not in base:
+            continue
+        now = bench["stats"]["min"]
+        then = base[name]["stats"]["min"]
+        if then > 0 and now > max_regression * then:
+            failures.append(
+                "%s: %.2f ms vs baseline %.2f ms (> %.1fx slower)"
+                % (name, now * 1e3, then * 1e3, max_regression)
+            )
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("bench_json", nargs="+", help="BENCH_*.json files")
+    parser.add_argument("--baseline", help="earlier BENCH json to compare against")
+    parser.add_argument(
+        "--max-regression", type=float, default=3.0,
+        help="fail only when slower than this factor (default 3.0)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load(args.baseline) if args.baseline else None
+    failures = []
+    for path in args.bench_json:
+        doc = load(path)
+        report(path, doc)
+        failures += check_transport(doc, args.max_regression)
+        if baseline is not None:
+            failures += check_baseline(doc, baseline, args.max_regression)
+
+    if failures:
+        for failure in failures:
+            print("check_bench: FAIL %s" % failure, file=sys.stderr)
+        return 1
+    print("check_bench: OK (%d file(s), max regression %.1fx)"
+          % (len(args.bench_json), args.max_regression))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -120,3 +120,77 @@ def test_trace_analysis_throughput(benchmark):
     lengths = benchmark(run)
     assert lengths.size > 1_000
     assert np.isfinite(lengths).all()
+
+
+def _transport_storm(legacy, n_servers=40, rounds=60):
+    """Peer-exchange storm: every round each server messages its ring
+    neighbour.  Distinct senders keep the output ports uncontended, the
+    regime the fast path's synchronous port claim targets (a provider
+    fan-out instead serialises on one port and measures the Resource
+    queue, not the transport)."""
+    from repro.network import Message, MessageKind, NetworkFabric, TopologyBuilder
+    from repro.sim import StreamRegistry
+
+    env = Environment()
+    streams = StreamRegistry(0)
+    topology = TopologyBuilder(env, streams).build(
+        n_servers=n_servers, users_per_server=0
+    )
+    fabric = NetworkFabric(env, streams=streams, legacy_transport=legacy)
+    servers = topology.servers
+
+    def driver(env):
+        for round_no in range(rounds):
+            for i, server in enumerate(servers):
+                fabric.send(
+                    Message(
+                        MessageKind.PUSH_UPDATE, server,
+                        servers[(i + 1) % n_servers], 4.0,
+                        version=round_no,
+                    )
+                )
+            yield env.timeout(5.0)
+
+    env.process(driver(env))
+    env.run()
+    assert fabric.counters.messages_delivered == n_servers * rounds
+    return env.events_processed
+
+
+def test_transport_fast_vs_legacy(benchmark):
+    """The callback fast path must beat the generator path by >= 2x.
+
+    The threshold is overridable (``REPRO_BENCH_MIN_SPEEDUP``) so noisy
+    CI runners can gate only on gross regressions; the recorded
+    ``extra_info`` in BENCH_engine.json keeps the honest numbers.
+    """
+    import os
+    import time
+
+    n_messages = 40 * 60
+    events = benchmark(_transport_storm, legacy=False)
+
+    legacy_times = []
+    for _ in range(3):
+        start = time.perf_counter()
+        legacy_events = _transport_storm(legacy=True)
+        legacy_times.append(time.perf_counter() - start)
+    legacy_s = min(legacy_times)
+
+    fast_s = benchmark.stats.stats.min
+    speedup = legacy_s / fast_s
+    benchmark.extra_info["messages"] = n_messages
+    benchmark.extra_info["fast_events"] = events
+    benchmark.extra_info["legacy_events"] = legacy_events
+    benchmark.extra_info["fast_msgs_per_s"] = n_messages / fast_s
+    benchmark.extra_info["legacy_msgs_per_s"] = n_messages / legacy_s
+    benchmark.extra_info["fast_events_per_s"] = events / fast_s
+    benchmark.extra_info["legacy_events_per_s"] = legacy_events / legacy_s
+    benchmark.extra_info["transport_speedup"] = speedup
+
+    assert events < legacy_events
+    min_speedup = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "2.0"))
+    assert speedup >= min_speedup, (
+        "fast transport only %.2fx the legacy path (need >= %.2fx)"
+        % (speedup, min_speedup)
+    )

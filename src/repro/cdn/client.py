@@ -117,7 +117,7 @@ class EndUserActor(Actor):
 
     def _visit_loop(self):
         if self.start_offset_s > 0:
-            yield self.env.timeout(self.start_offset_s)
+            yield self.env.pooled_timeout(self.start_offset_s)
         visit_index = 0
         while True:
             target = self.selector.select(self.node, self.env.now, visit_index)
@@ -149,4 +149,4 @@ class EndUserActor(Actor):
                         server=target.node_id, version=response.version,
                     )
             visit_index += 1
-            yield self.env.timeout(self.user_ttl_s)
+            yield self.env.pooled_timeout(self.user_ttl_s)

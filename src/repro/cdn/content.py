@@ -13,6 +13,8 @@ import bisect
 from dataclasses import dataclass, field
 from typing import List, Sequence
 
+import numpy as np
+
 __all__ = ["LiveContent", "DEFAULT_UPDATE_SIZE_KB", "DEFAULT_LIGHT_SIZE_KB"]
 
 #: Paper Section 4: "The size of all consistency maintenance related
@@ -77,6 +79,28 @@ class LiveContent:
             return 0.0
         superseding = self.creation_time(version + 1)
         return max(0.0, t - superseding)
+
+    def staleness_grid(self, versions: "np.ndarray", times: "np.ndarray") -> "np.ndarray":
+        """Vectorised :meth:`staleness` over parallel version/time arrays.
+
+        ``versions[i]`` is the held version at instant ``times[i]``;
+        returns a float array equal element-wise (bit-identically) to
+        ``[self.staleness(int(v), float(t)) for v, t in zip(...)]``.
+        """
+        versions = np.asarray(versions, dtype=np.int64)
+        times = np.asarray(times, dtype=np.float64)
+        update_times = np.asarray(self.update_times, dtype=np.float64)
+        if update_times.size == 0:
+            return np.zeros(times.shape, dtype=np.float64)
+        # version_at(t) == searchsorted(update_times, t, side="right").
+        current = np.searchsorted(update_times, times, side="right")
+        stale = versions < current
+        # creation_time(version + 1) == update_times[version] for
+        # version >= 0 (and 0.0 for version -1); the index is only read
+        # where ``stale`` holds (version < current <= n).
+        clipped = np.clip(versions, 0, update_times.size - 1)
+        superseding = np.where(versions < 0, 0.0, update_times[clipped])
+        return np.where(stale, np.maximum(0.0, times - superseding), 0.0)
 
     def versions_in(self, start: float, end: float) -> Sequence[int]:
         """Version indices created in the window ``(start, end]``."""

@@ -8,7 +8,7 @@ of failures mid-run.  Used by examples and ablation analysis.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -24,10 +24,14 @@ class StalenessSeries:
 
     times: Tuple[float, ...]
     values: Tuple[float, ...]
+    #: ``values`` as an ndarray, materialised once at construction so
+    #: :meth:`over` / :meth:`mean` do not re-convert per call.
+    _values_arr: "np.ndarray" = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if len(self.times) != len(self.values):
             raise ValueError("times and values must have equal length")
+        object.__setattr__(self, "_values_arr", np.asarray(self.values, dtype=np.float64))
 
     def __len__(self) -> int:
         return len(self.times)
@@ -36,13 +40,13 @@ class StalenessSeries:
         return max(self.values) if self.values else 0.0
 
     def mean(self) -> float:
-        return float(np.mean(self.values)) if self.values else 0.0
+        return float(np.mean(self._values_arr)) if self.values else 0.0
 
     def over(self, threshold: float) -> float:
         """Fraction of sampled instants with staleness above *threshold*."""
         if not self.values:
             return 0.0
-        return float(np.mean(np.asarray(self.values) > threshold))
+        return float(np.mean(self._values_arr > threshold))
 
 
 def staleness_series(
@@ -69,10 +73,11 @@ def staleness_series(
     )
     idx = np.searchsorted(log_times, grid, side="right") - 1
     held = np.where(idx >= 0, log_versions[np.maximum(idx, 0)], 0)
-    values = [
-        content.staleness(int(version), float(t)) for version, t in zip(held, grid)
-    ]
-    return StalenessSeries(times=tuple(float(t) for t in grid), values=tuple(values))
+    values = content.staleness_grid(held, grid)
+    return StalenessSeries(
+        times=tuple(float(t) for t in grid),
+        values=tuple(float(v) for v in values),
+    )
 
 
 def fleet_staleness_series(

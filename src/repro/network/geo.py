@@ -10,7 +10,7 @@ catalog of real city coordinates plus small jitter for co-located servers.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 from ..sim.rng import RandomStream
@@ -29,16 +29,29 @@ EARTH_RADIUS_KM = 6371.0
 
 @dataclass(frozen=True)
 class GeoPoint:
-    """A point on the globe (degrees)."""
+    """A point on the globe (degrees).
+
+    The radian form and the cosine of the latitude are precomputed once
+    at construction so every haversine evaluation is pure arithmetic --
+    no trig conversions on the distance hot path.
+    """
 
     lat: float
     lon: float
+    #: Derived values (identical to ``math.radians``/``math.cos`` of the
+    #: degree fields, so distances are bit-identical to computing inline).
+    lat_rad: float = field(init=False, repr=False, compare=False)
+    lon_rad: float = field(init=False, repr=False, compare=False)
+    cos_lat: float = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not -90.0 <= self.lat <= 90.0:
             raise ValueError("latitude out of range: %r" % (self.lat,))
         if not -180.0 <= self.lon <= 180.0:
             raise ValueError("longitude out of range: %r" % (self.lon,))
+        object.__setattr__(self, "lat_rad", math.radians(self.lat))
+        object.__setattr__(self, "lon_rad", math.radians(self.lon))
+        object.__setattr__(self, "cos_lat", math.cos(self.lat_rad))
 
     def distance_km(self, other: "GeoPoint") -> float:
         return haversine_km(self, other)
@@ -46,10 +59,9 @@ class GeoPoint:
 
 def haversine_km(a: GeoPoint, b: GeoPoint) -> float:
     """Great-circle distance between two points in kilometres."""
-    lat1, lon1, lat2, lon2 = map(math.radians, (a.lat, a.lon, b.lat, b.lon))
-    dlat = lat2 - lat1
-    dlon = lon2 - lon1
-    h = math.sin(dlat / 2.0) ** 2 + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2.0) ** 2
+    dlat = b.lat_rad - a.lat_rad
+    dlon = b.lon_rad - a.lon_rad
+    h = math.sin(dlat / 2.0) ** 2 + a.cos_lat * b.cos_lat * math.sin(dlon / 2.0) ** 2
     return 2.0 * EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(h)))
 
 

@@ -13,16 +13,36 @@ Every message experiences
 The fabric also feeds every delivered message into a
 :class:`~repro.metrics.traffic.TrafficLedger` so experiments can report
 traffic cost (km*KB), message counts, and network load (km).
+
+Two transport implementations carry each message through those stages:
+
+- the **fast path** (default): a slotted, callback-driven state machine
+  (:class:`_FastTransfer`) that chains raw kernel events directly --
+  queue -> transmit -> propagate -> deliver -- reusing one hop event per
+  message and claiming an uncontended output port synchronously, with
+  no generator frame, no ``Process``, and no ``Request``/``Release``
+  round-trip;
+- the **legacy path**: the original generator-backed process, kept
+  behind the ``REPRO_LEGACY_TRANSPORT`` environment variable (or the
+  ``legacy_transport`` constructor flag) for differential testing.
+
+Both paths draw jitter/ISP randomness at the same simulated instants in
+the same order and post identical ledger/counter/tracer records, so a
+run's :class:`~repro.experiments.testbed.DeploymentMetrics` are
+bit-identical whichever path carried the traffic (the kernel-event
+*count* differs: the fast path processes fewer events per message).
+See ``docs/performance.md`` and ``tests/test_transport_equivalence.py``.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 from ..metrics.traffic import TrafficLedger
 from ..obs.counters import FabricCounters
-from ..sim.engine import Environment, Event
+from ..sim.engine import Environment, Event, URGENT
 from ..sim.rng import RandomStream, StreamRegistry
 from .isp import InterISPModel
 from .message import Message
@@ -32,6 +52,9 @@ __all__ = ["FabricParams", "NetworkFabric", "SPEED_OF_LIGHT_FIBRE_KM_S"]
 
 #: Signal speed in optical fibre (~2/3 of c), km/s.
 SPEED_OF_LIGHT_FIBRE_KM_S = 200_000.0
+
+#: Environment variable selecting the legacy generator transport.
+LEGACY_TRANSPORT_ENV = "REPRO_LEGACY_TRANSPORT"
 
 
 @dataclass
@@ -58,6 +81,198 @@ class FabricParams:
             raise ValueError("speed_km_per_s must be positive")
         if self.path_stretch < 1.0:
             raise ValueError("path_stretch must be >= 1")
+        if self.base_latency_s < 0:
+            raise ValueError("base_latency_s must be >= 0")
+        if self.per_message_overhead_s < 0:
+            raise ValueError("per_message_overhead_s must be >= 0")
+        if self.latency_jitter_frac < 0:
+            raise ValueError("latency_jitter_frac must be >= 0")
+
+
+class _FastTransfer:
+    """Callback-driven transport of one message (the fast path).
+
+    Replaces the legacy per-message generator process with a slotted
+    state machine that walks the same stages at the same simulated
+    instants.  One reusable ``hop`` event carries the transfer through
+    start -> transmit-done -> deliver (reset and rescheduled between
+    stages instead of allocating a new ``Timeout`` per stage); ``done``
+    is the completion event handed back to the caller, firing with
+    ``True``/``False`` exactly when the legacy process event would.
+    """
+
+    __slots__ = ("fabric", "env", "message", "done", "hop", "entered_port", "claim")
+
+    def __init__(self, fabric: "NetworkFabric", message: Message) -> None:
+        env = fabric.env
+        self.fabric = fabric
+        self.env = env
+        self.message = message
+        self.done = Event(env)
+        self.entered_port = 0.0
+        self.claim: object = None
+        hop = Event(env)
+        hop._ok = True
+        hop._value = None
+        hop.callbacks.append(self._start)
+        self.hop = hop
+        # URGENT at the current instant -- exactly where the legacy
+        # path's _Initialize resumes the generator, so the sender's
+        # up/down state is sampled at the same point in the event order.
+        env.schedule(hop, priority=URGENT)
+
+    def _restart(self, message: Message) -> Event:
+        """Re-arm a recycled transfer for a new message (pool path)."""
+        env = self.env
+        self.message = message
+        done = Event(env)
+        self.done = done
+        hop = self.hop
+        hop.callbacks = [self._start]
+        env.schedule(hop, priority=URGENT)
+        return done
+
+    # ------------------------------------------------------------------
+    def _next_hop(self, callback, delay: float) -> None:
+        """Re-arm the (already processed) hop event for the next stage."""
+        hop = self.hop
+        hop.callbacks = [callback]
+        self.env.schedule(hop, delay=delay)
+
+    def _finish(self, delivered: bool) -> None:
+        """Trigger ``done`` like the legacy process-completion event."""
+        done = self.done
+        done._ok = True
+        done._value = delivered
+        if done.callbacks:
+            self.env.schedule(done)
+        else:
+            # Nobody registered interest by delivery time: mark the
+            # event processed without a kernel round-trip.  A later
+            # ``yield done`` resumes immediately, exactly as yielding a
+            # long-completed legacy process event would.
+            done.callbacks = None
+        # The transfer (and its internal hop event) is now idle; hand it
+        # back to the fabric for the next send().  ``done`` stays with
+        # the caller and is never recycled.
+        self.message = None
+        self.claim = None
+        self.done = None
+        self.fabric._transfer_pool.append(self)
+
+    def _drop(self, node_id: str, reason: str, counter_attr: str) -> None:
+        fabric = self.fabric
+        fabric.dropped += 1
+        counters = fabric.counters
+        setattr(counters, counter_attr, getattr(counters, counter_attr) + 1)
+        tracer = self.env.tracer
+        if tracer.enabled:
+            tracer.emit(
+                self.env.now, "msg_drop", node_id,
+                reason=reason, **self.message.trace_detail()
+            )
+        self._finish(False)
+
+    # ------------------------------------------------------------------
+    # stages
+    # ------------------------------------------------------------------
+    def _start(self, _event: Event) -> None:
+        """Stage 1: sender check, then queue on / claim the output port."""
+        message = self.message
+        src: NetworkNode = message.src
+        if not src.is_up:
+            self._drop(src.node_id, "sender_down", "dropped_sender_down")
+            return
+        self.entered_port = self.env.now
+        port = src.output_port
+        if port.try_claim(self):
+            # Uncontended: no Request/grant event, start transmitting now.
+            self.claim = self
+            self._next_hop(
+                self._transmit_done,
+                self.fabric.params.per_message_overhead_s
+                + message.size_kb / src.uplink_kbps,
+            )
+        else:
+            request = port.request()
+            self.claim = request
+            request.callbacks.append(self._granted)
+
+    def _granted(self, _event: Event) -> None:
+        """Stage 1b (contended): the port's FIFO queue reached us."""
+        message = self.message
+        src: NetworkNode = message.src
+        self._next_hop(
+            self._transmit_done,
+            self.fabric.params.per_message_overhead_s
+            + message.size_kb / src.uplink_kbps,
+        )
+
+    def _transmit_done(self, _event: Event) -> None:
+        """Stage 2: bytes left the sender -- account, then propagate.
+
+        The accounting and delay model below is the legacy generator's
+        body (``NetworkFabric._transfer``) with ``record_sent`` /
+        ``_delay_components`` inlined; the floating-point operation
+        sequence and RNG draw order are preserved exactly.
+        """
+        fabric = self.fabric
+        env = self.env
+        message = self.message
+        src: NetworkNode = message.src
+        dst: NetworkNode = message.dst
+        counters = fabric.counters
+        # Release before accounting: the legacy generator's with-block
+        # exit grants the next waiter ahead of this message's bookkeeping.
+        src.output_port.release_fast(self.claim)
+        counters.queueing_s += env.now - self.entered_port
+
+        distance, base, link_key, same_isp = fabric._path(src, dst)
+        size_kb = message.size_kb
+        fabric.ledger.record(message, distance)
+        counters.messages_sent += 1
+        counters.bytes_kb += size_kb
+        link_bytes = counters.link_bytes_kb
+        link_bytes[link_key] = link_bytes.get(link_key, 0.0) + size_kb
+        tracer = env.tracer
+        if tracer.enabled:
+            tracer.emit(env.now, "msg_send", src.node_id, **message.trace_detail())
+
+        params = fabric.params
+        jitter = fabric._jitter_stream.jitter(base, params.latency_jitter_frac) - base
+        propagation = max(0.0, base + jitter)
+        if same_isp:
+            penalty = 0.0
+        else:
+            inter = params.inter_isp
+            penalty = max(
+                0.0,
+                inter.base_s
+                + fabric._isp_stream.uniform(-inter.jitter_s, inter.jitter_s),
+            )
+        counters.propagation_s += propagation
+        if penalty > 0.0:
+            counters.isp_penalty_s += penalty
+            counters.isp_crossing_messages += 1
+            counters.isp_crossing_kb += size_kb
+        self._next_hop(self._deliver, propagation + penalty)
+
+    def _deliver(self, _event: Event) -> None:
+        """Stage 3: receiver check and inbox delivery."""
+        message = self.message
+        dst: NetworkNode = message.dst
+        if not dst.is_up:
+            self._drop(dst.node_id, "receiver_down", "dropped_receiver_down")
+            return
+        dst.inbox.put(message)
+        fabric = self.fabric
+        fabric.counters.messages_delivered += 1
+        tracer = self.env.tracer
+        if tracer.enabled:
+            tracer.emit(
+                self.env.now, "msg_recv", dst.node_id, **message.trace_detail()
+            )
+        self._finish(True)
 
 
 class NetworkFabric:
@@ -69,6 +284,7 @@ class NetworkFabric:
         ledger: Optional[TrafficLedger] = None,
         params: Optional[FabricParams] = None,
         streams: Optional[StreamRegistry] = None,
+        legacy_transport: Optional[bool] = None,
     ) -> None:
         self.env = env
         self.ledger = ledger if ledger is not None else TrafficLedger()
@@ -80,22 +296,53 @@ class NetworkFabric:
         self.dropped = 0
         #: Always-on per-layer accounting (see :mod:`repro.obs.counters`).
         self.counters = FabricCounters()
+        if legacy_transport is None:
+            legacy_transport = os.environ.get(
+                LEGACY_TRANSPORT_ENV, ""
+            ).strip().lower() in ("1", "true", "yes", "on")
+        #: ``True`` runs the original generator-backed transport.
+        self.legacy_transport = bool(legacy_transport)
+        #: ``(src_id, dst_id) -> (distance_km, min_latency_s, link_key,
+        #: same_isp)``.  Node positions, ISP homes, and fabric params are
+        #: fixed for a run, so the trig, stretch arithmetic, and link-key
+        #: string happen once per directed pair.
+        self._path_cache: Dict[Tuple[str, str], Tuple[float, float, str, bool]] = {}
+        #: Recycled :class:`_FastTransfer` objects (with their internal
+        #: hop events); avoids two allocations per message on the fast
+        #: path.  Only transfers that have fully finished live here.
+        self._transfer_pool: List[_FastTransfer] = []
 
     # ------------------------------------------------------------------
     # delay model
     # ------------------------------------------------------------------
+    def _path(self, src: NetworkNode, dst: NetworkNode) -> Tuple[float, float, str, bool]:
+        """Memoised ``(distance_km, min_latency_s, link_key, same_isp)``."""
+        key = (src.node_id, dst.node_id)
+        entry = self._path_cache.get(key)
+        if entry is None:
+            distance = src.distance_km(dst)
+            params = self.params
+            entry = (
+                distance,
+                params.base_latency_s
+                + distance * params.path_stretch / params.speed_km_per_s,
+                "%s->%s" % (src.node_id, dst.node_id),
+                src.isp.isp_id == dst.isp.isp_id,
+            )
+            self._path_cache[key] = entry
+        return entry
+
     def min_latency_s(self, src: NetworkNode, dst: NetworkNode) -> float:
         """Deterministic one-way latency (no jitter, no queueing).
 
         Used by proximity-aware tree building as the "inter-ping latency"
         measure of Section 4.
         """
-        distance = src.distance_km(dst) * self.params.path_stretch
-        return self.params.base_latency_s + distance / self.params.speed_km_per_s
+        return self._path(src, dst)[1]
 
     def _delay_components(self, src: NetworkNode, dst: NetworkNode) -> "tuple[float, float]":
         """One-way delay split into (propagation incl. jitter, ISP penalty)."""
-        base = self.min_latency_s(src, dst)
+        base = self._path(src, dst)[1]
         jitter = self._jitter_stream.jitter(base, self.params.latency_jitter_frac) - base
         penalty = self.params.inter_isp.penalty(src.isp, dst.isp, self._isp_stream)
         return max(0.0, base + jitter), penalty
@@ -115,9 +362,15 @@ class NetworkFabric:
         A down *sender* drops the message immediately.
         """
         message.created_at = self.env.now
-        return self.env.process(self._transfer(message))
+        if self.legacy_transport:
+            return self.env.process(self._transfer(message))
+        pool = self._transfer_pool
+        if pool:
+            return pool.pop()._restart(message)
+        return _FastTransfer(self, message).done
 
     def _transfer(self, message: Message):
+        """Legacy generator transport (``REPRO_LEGACY_TRANSPORT=1``)."""
         src: NetworkNode = message.src
         dst: NetworkNode = message.dst
         counters = self.counters
@@ -143,7 +396,7 @@ class NetworkFabric:
         counters.queueing_s += self.env.now - entered_port
 
         # The bytes have left the sender: account for them.
-        distance = src.distance_km(dst)
+        distance = self._path(src, dst)[0]
         self.ledger.record(message, distance)
         counters.record_sent(src.node_id, dst.node_id, message.size_kb)
         if tracer.enabled:

@@ -29,6 +29,9 @@ __all__ = [
     "NORMAL",
 ]
 
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
 #: Scheduling priority for events that must run before ordinary events
 #: scheduled at the same time (used internally for process resumption).
 URGENT = 0
@@ -178,6 +181,17 @@ class Timeout(Event):
         return "<Timeout(%s) object at 0x%x>" % (self._delay, id(self))
 
 
+class _PooledTimeout(Timeout):
+    """A :class:`Timeout` recycled through ``Environment._timeout_pool``.
+
+    Only ever created by :meth:`Environment.pooled_timeout`; the event
+    loop returns processed instances to the pool, so the caller must not
+    retain one past its firing (see ``pooled_timeout`` for the contract).
+    """
+
+    __slots__ = ()
+
+
 class Environment:
     """Execution environment: simulation clock plus the event queue.
 
@@ -189,6 +203,16 @@ class Environment:
     any simulated outcome.
     """
 
+    __slots__ = (
+        "_now",
+        "_queue",
+        "_eid",
+        "_events_processed",
+        "_active_proc",
+        "_timeout_pool",
+        "tracer",
+    )
+
     def __init__(self, initial_time: float = 0.0, tracer: Optional[Any] = None) -> None:
         from ..obs.tracer import NULL_TRACER
 
@@ -197,6 +221,7 @@ class Environment:
         self._eid = 0
         self._events_processed = 0
         self._active_proc: Optional[Any] = None
+        self._timeout_pool: List[_PooledTimeout] = []
         #: Observability hook; NULL_TRACER (a shared no-op) by default.
         self.tracer = tracer if tracer is not None else NULL_TRACER
 
@@ -227,19 +252,20 @@ class Environment:
     # ------------------------------------------------------------------
     # scheduling / stepping
     # ------------------------------------------------------------------
-    def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
+    def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0,
+                 _push=_heappush) -> None:
         """Schedule *event* ``delay`` time units into the future."""
         self._eid += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+        _push(self._queue, (self._now + delay, priority, self._eid, event))
 
-    def step(self) -> None:
+    def step(self, _pop=_heappop) -> None:
         """Process the next scheduled event.
 
         Raises :class:`EmptySchedule` when the queue is empty and
         re-raises the exception of any failed, un-defused event.
         """
         try:
-            self._now, _, _, event = heapq.heappop(self._queue)
+            self._now, _, _, event = _pop(self._queue)
         except IndexError:
             raise EmptySchedule() from None
 
@@ -253,6 +279,8 @@ class Environment:
         if not event._ok and not event._defused:
             exc = event._value
             raise exc
+        if event.__class__ is _PooledTimeout:
+            self._timeout_pool.append(event)
 
     def run(self, until: Union[None, float, Event] = None) -> Any:
         """Run the simulation.
@@ -273,16 +301,17 @@ class Environment:
             until._value = None
             # URGENT so the stop event runs before ordinary events at `at`.
             self._eid += 1
-            heapq.heappush(self._queue, (at, URGENT, self._eid, until))
+            _heappush(self._queue, (at, URGENT, self._eid, until))
 
         if isinstance(until, Event):
             if until.callbacks is None:
                 return until.value
             until.callbacks.append(StopSimulation.callback)
 
+        step = self.step
         try:
             while True:
-                self.step()
+                step()
         except StopSimulation as stop:
             return stop.args[0]
         except EmptySchedule:
@@ -302,6 +331,31 @@ class Environment:
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """Create a :class:`Timeout` firing after *delay*."""
         return Timeout(self, delay, value)
+
+    def pooled_timeout(self, delay: float, value: Any = None) -> Timeout:
+        """A :class:`Timeout` drawn from (and recycled back into) a pool.
+
+        Scheduling semantics are identical to :meth:`timeout` -- same
+        event ordering, same sequence-number allocation -- but processed
+        instances are reused, sparing one allocation per firing on hot
+        sleep loops.  Contract: the caller must ``yield`` the timeout
+        immediately and must not retain a reference past its firing, nor
+        combine it into :meth:`all_of` / :meth:`any_of` conditions (the
+        recycled object would be mutated under the condition).
+        """
+        pool = self._timeout_pool
+        if not pool:
+            return _PooledTimeout(self, delay, value)
+        if delay < 0:
+            raise ValueError("negative delay %s" % delay)
+        timeout = pool.pop()
+        timeout.callbacks = []
+        timeout._ok = True
+        timeout._value = value
+        timeout._defused = False
+        timeout._delay = delay
+        self.schedule(timeout, delay=delay)
+        return timeout
 
     def process(self, generator) -> "Any":
         """Start a new :class:`~repro.sim.process.Process` from *generator*."""

@@ -186,6 +186,31 @@ class TestFabric:
             FabricParams(speed_km_per_s=0)
         with pytest.raises(ValueError):
             FabricParams(path_stretch=0.5)
+        with pytest.raises(ValueError):
+            FabricParams(base_latency_s=-0.001)
+        with pytest.raises(ValueError):
+            FabricParams(per_message_overhead_s=-1e-9)
+        with pytest.raises(ValueError):
+            FabricParams(latency_jitter_frac=-0.1)
+        # Zero is a legal boundary for all three.
+        FabricParams(base_latency_s=0.0, per_message_overhead_s=0.0,
+                     latency_jitter_frac=0.0)
+
+    def test_min_latency_memo_stable_under_jitter(self):
+        env = Environment()
+        streams = StreamRegistry(21)
+        provider, servers = make_nodes(env, streams, n=3)
+        fabric = NetworkFabric(env, streams=streams)
+        first = [fabric.min_latency_s(provider, s) for s in servers]
+        # Cached lookups must return the very same floats, and the memo
+        # must key on direction-sensitive node ids.
+        assert [fabric.min_latency_s(provider, s) for s in servers] == first
+        expected = (
+            fabric.params.base_latency_s
+            + provider.distance_km(servers[0]) * fabric.params.path_stretch
+            / fabric.params.speed_km_per_s
+        )
+        assert first[0] == expected
 
 
 class TestTopology:

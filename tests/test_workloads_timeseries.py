@@ -105,6 +105,49 @@ class TestStalenessSeries:
         solo = staleness_series(content, lagging, horizon_s=300.0)
         assert fleet.mean() == pytest.approx(solo.mean() / 2.0, rel=0.01)
 
+    def test_vectorised_grid_matches_scalar_staleness(self):
+        # The numpy staleness_grid path must be bit-identical to the
+        # scalar LiveContent.staleness loop it replaced.
+        contents = [
+            self.make_content(),
+            LiveContent("empty"),
+            LiveContent("dense", update_times=[float(t) for t in range(0, 300, 7)]),
+        ]
+        logs = [
+            [],
+            [(0.0, 0)],
+            [(0.0, 0), (100.5, 1), (200.5, 2)],
+            [(0.0, 0), (160.0, 1)],
+            [(5.0, 2)],  # replica ahead of schedule
+        ]
+        for content in contents:
+            for log in logs:
+                if log and content.n_updates < max(v for _, v in log):
+                    continue
+                series = staleness_series(content, log, horizon_s=301.0, step_s=9.5)
+                scalar = [
+                    content.staleness(self._held_version(log, t), t)
+                    for t in series.times
+                ]
+                assert list(series.values) == scalar
+
+    @staticmethod
+    def _held_version(log, t):
+        held = 0
+        for when, version in log or [(0.0, 0)]:
+            if when <= t:
+                held = max(held, version)
+        return held
+
+    def test_over_uses_cached_array(self):
+        series = staleness_series(
+            self.make_content(), [(0.0, 0)], horizon_s=300.0, step_s=10.0
+        )
+        arr = series._values_arr
+        assert tuple(arr) == series.values
+        assert series.over(0.0) == float(np.mean(arr > 0.0))
+        assert series._values_arr is arr  # constructed once, not per call
+
     def test_validation(self):
         content = self.make_content()
         with pytest.raises(ValueError):
