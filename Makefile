@@ -1,12 +1,35 @@
-# Developer entry points.  `make smoke` is the pre-merge gate: a fast
-# bytecode-compile lint plus the driver shape tests.
+# Developer entry points.  `make smoke` is the pre-merge gate: the full
+# static-analysis stack plus the driver shape tests.
 
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: smoke lint test bench bench-engine bench-section4 bench-all report trace-demo
+.PHONY: smoke lint lint-compile lint-repro lint-ruff typecheck \
+	test bench bench-engine bench-section4 bench-all report trace-demo
 
-lint:
+# Aggregate static-analysis gate.  lint-ruff and typecheck no-op with a
+# notice when ruff/mypy are not installed (offline containers); CI
+# installs both, so they are enforced there.
+lint: lint-compile lint-repro lint-ruff typecheck
+
+lint-compile:
 	python -m compileall -q src
+
+lint-repro:
+	PYTHONPATH=src python -m repro.lint src
+
+lint-ruff:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks; \
+	else \
+		echo "lint-ruff: ruff not installed, skipping (enforced in CI)"; \
+	fi
+
+typecheck:
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy src/repro; \
+	else \
+		echo "typecheck: mypy not installed, skipping (enforced in CI)"; \
+	fi
 
 smoke: lint
 	$(PYTEST) -q tests/test_section_drivers.py

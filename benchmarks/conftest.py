@@ -9,7 +9,7 @@ and roughly by what factor.
 
 import pytest
 
-from repro.experiments.config import TestbedConfig, ci_scale
+from repro.experiments.config import ci_scale
 from repro.experiments.section3 import Section3Context
 from repro.experiments.section5 import section5_config
 from repro.trace.synthesize import SynthesisConfig

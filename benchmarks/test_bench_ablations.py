@@ -10,15 +10,11 @@ These quantify design choices the paper argues for qualitatively:
   whole subtrees (the Sec 1 argument against multicast).
 """
 
-import numpy as np
 
 from repro.cdn import LiveContent, ProviderActor, ServerActor
 from repro.consistency import MulticastTreeInfrastructure, PushPolicy, TTLPolicy
-from repro.core import HatConfig
-from repro.experiments.config import ci_scale
 from repro.experiments.testbed import build_deployment, build_system
-from repro.experiments.section5 import section5_config
-from repro.network import MessageKind, NetworkFabric, TopologyBuilder
+from repro.network import NetworkFabric, TopologyBuilder
 from repro.sim import Environment, StreamRegistry
 
 

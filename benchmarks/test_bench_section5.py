@@ -5,7 +5,6 @@ from repro.experiments.section5 import (
     fig22b_provider_messages,
     fig23_network_load,
     fig24_inconsistency_observations,
-    section5_config,
 )
 
 

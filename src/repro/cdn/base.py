@@ -13,7 +13,7 @@ version and knows how to push / invalidate / notify downstream nodes.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, Iterable, List, Optional, Set
+from typing import Any, Dict, Generator, List, Optional, Set
 
 from ..network.link import NetworkFabric
 from ..network.message import Message, MessageKind

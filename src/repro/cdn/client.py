@@ -9,7 +9,7 @@ observation log is the raw material for all user-perspective metrics.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from ..network.link import NetworkFabric
 from ..network.message import MessageKind

@@ -11,7 +11,7 @@ inconsistency.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 from ..network.node import NetworkNode
 from ..sim.rng import RandomStream

@@ -8,7 +8,7 @@ be polled.  It also answers polls and fetches from servers.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, List
 
 from ..network.link import NetworkFabric
 from ..network.message import Message, MessageKind

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Six subcommands mirroring the paper's workflow::
+Seven subcommands mirroring the paper's workflow::
 
     python -m repro measure    # Section 3: synthesize + analyse a crawl
     python -m repro evaluate   # Section 4: one method on one infrastructure
@@ -8,6 +8,7 @@ Six subcommands mirroring the paper's workflow::
     python -m repro advise     # guidance: recommend a method from rates
     python -m repro report     # regenerate the EXPERIMENTS.md report
     python -m repro trace      # run one traced deployment, dump JSONL events
+    python -m repro lint       # determinism/purity static analysis (REPxxx)
 
 ``sweep`` and ``report`` accept ``--workers`` (or ``REPRO_WORKERS``) to
 fan deployments over a process pool, and ``--registry`` (or
@@ -178,6 +179,17 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--seed", type=int, default=0)
     report.add_argument("--out", default="EXPERIMENTS.md")
     _add_runner_arguments(report)
+
+    # `repro lint` owns its argument surface (it is also runnable as
+    # `python -m repro.lint`): main() forwards everything after the
+    # subcommand name to repro.lint.cli before this parser ever runs,
+    # so the entry here only exists for `repro --help`.
+    sub.add_parser(
+        "lint",
+        help="determinism & purity static analysis (rules REP001-REP006; "
+        "see docs/static-analysis.md)",
+        add_help=False,
+    )
 
     return parser
 
@@ -394,7 +406,12 @@ _COMMANDS = {
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if arguments and arguments[0] == "lint":
+        from .lint.cli import main as lint_main
+
+        return lint_main(arguments[1:])
+    args = build_parser().parse_args(arguments)
     return _COMMANDS[args.command](args)
 
 

@@ -16,7 +16,7 @@ argument against multicast in Section 1.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from ..network.link import NetworkFabric
 from ..network.message import MessageKind

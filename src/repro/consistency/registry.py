@@ -16,7 +16,7 @@ origin to feed the servers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
 
 from .adaptive import AdaptiveTTLPolicy, SelfAdaptivePolicy

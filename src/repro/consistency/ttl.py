@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Generator, Iterable, Optional
 
-from ..network.message import Message, MessageKind
+from ..network.message import MessageKind
 from ..sim.rng import RandomStream
 from .base import ServerPolicy
 

@@ -18,7 +18,7 @@ baseline: the same infrastructure but plain TTL inside clusters).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..cdn.content import LiveContent
@@ -37,7 +37,7 @@ from .supernode import ClusterSpec, form_clusters
 __all__ = ["HatConfig", "HatSystem"]
 
 
-@dataclass
+@dataclass(kw_only=True)
 class HatConfig:
     """Tunables of the HAT deployment."""
 

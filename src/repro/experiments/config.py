@@ -14,7 +14,7 @@ runs; ``smoke_scale()`` is minimal.
 from __future__ import annotations
 
 import difflib
-from dataclasses import dataclass, field, fields, replace
+from dataclasses import dataclass, fields, replace
 from typing import Optional
 
 __all__ = ["TestbedConfig", "paper_scale", "ci_scale", "smoke_scale"]

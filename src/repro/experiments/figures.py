@@ -9,10 +9,9 @@ touching the simulator again.
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 from ..runner import Runner
-from .config import TestbedConfig
 from .export import (
     cdf_table,
     matrix_table,

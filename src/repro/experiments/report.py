@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import sys
 import time
-from typing import Dict, List, Optional, Sequence, TextIO
+from typing import List, Optional, TextIO
 
 from ..obs.attribution import format_attribution_table
 from ..runner import Runner

@@ -11,15 +11,14 @@ trace analyses -- they run no deployments, so their ``stats`` is
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..metrics.stats import Cdf, PercentileSummary, summarize
-from ..trace.analysis import all_inconsistencies, alpha_times, day_inconsistencies
+from ..trace.analysis import all_inconsistencies, day_inconsistencies
 from ..trace.causes import (
-    DistanceAnalysis,
     IspClusterResult,
     absence_impact,
     consistency_vs_distance,

@@ -17,7 +17,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
 
 from ..metrics.stats import PercentileSummary, summarize
 from ..runner import Runner, RunSpec, run_specs

@@ -1,0 +1,139 @@
+"""Committed baseline of grandfathered findings.
+
+The baseline is a JSON file (``lint-baseline.json`` at the repo root)
+listing findings that predate a rule or are accepted false positives.
+Every entry carries a human ``reason`` -- the review contract is that a
+baseline entry without a justification is a bug.
+
+Matching is by fingerprint ``(code, package_path, stripped line text)``,
+*not* line number, so unrelated edits that shift a grandfathered line do
+not resurrect it as "new".  Matching is count-aware: two identical
+grandfathered lines need two entries (or one entry with ``"count": 2``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .findings import Finding
+
+__all__ = ["Baseline", "BaselineMatcher"]
+
+_VERSION = 1
+
+Fingerprint = Tuple[str, str, str]
+
+
+class BaselineMatcher:
+    """Consumes baseline slots as findings match them (count-aware)."""
+
+    def __init__(self, slots: Dict[Fingerprint, int]) -> None:
+        self._slots = dict(slots)
+
+    def consume(self, finding: Finding) -> bool:
+        """``True`` (and uses up one slot) if *finding* is grandfathered."""
+        remaining = self._slots.get(finding.fingerprint, 0)
+        if remaining <= 0:
+            return False
+        self._slots[finding.fingerprint] = remaining - 1
+        return True
+
+    def stale(self) -> List[Fingerprint]:
+        """Fingerprints with unconsumed slots -- entries that match nothing."""
+        return sorted(key for key, count in self._slots.items() if count > 0)
+
+
+class Baseline:
+    """The parsed baseline file."""
+
+    def __init__(self, slots: Optional[Dict[Fingerprint, int]] = None) -> None:
+        self._slots: Dict[Fingerprint, int] = dict(slots or {})
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls()
+
+    @classmethod
+    def load(cls, path: object) -> "Baseline":
+        """Load *path*; a missing file is an empty baseline."""
+        file_path = Path(str(path))
+        if not file_path.exists():
+            return cls.empty()
+        payload = json.loads(file_path.read_text(encoding="utf-8"))
+        if not isinstance(payload, dict) or payload.get("version") != _VERSION:
+            raise ValueError(
+                "unsupported baseline format in %s (want version %d)"
+                % (file_path, _VERSION)
+            )
+        slots: Dict[Fingerprint, int] = {}
+        for entry in payload.get("entries", []):
+            key = (
+                str(entry["code"]),
+                str(entry["path"]),
+                str(entry.get("text", "")),
+            )
+            slots[key] = slots.get(key, 0) + int(entry.get("count", 1))
+        return cls(slots)
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        baseline = cls()
+        for finding in findings:
+            key = finding.fingerprint
+            baseline._slots[key] = baseline._slots.get(key, 0) + 1
+        return baseline
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(self._slots.values())
+
+    def matcher(self) -> BaselineMatcher:
+        return BaselineMatcher(self._slots)
+
+    def write(self, path: object, findings: Optional[Iterable[Finding]] = None) -> None:
+        """Serialise to *path*.
+
+        When *findings* is given, entries are written from them (one per
+        finding, with line numbers as a human aid); otherwise from the
+        fingerprint slots.  Fresh entries get a ``reason`` placeholder
+        that review should replace with an actual justification.
+        """
+        entries: List[Dict[str, object]] = []
+        if findings is not None:
+            counted: Dict[Fingerprint, Dict[str, object]] = {}
+            for finding in sorted(findings, key=Finding.sort_key):
+                key = finding.fingerprint
+                if key in counted:
+                    counted[key]["count"] = int(counted[key]["count"]) + 1  # type: ignore[arg-type]
+                    continue
+                entry: Dict[str, object] = {
+                    "code": finding.code,
+                    "path": finding.package_path,
+                    "line": finding.line,
+                    "text": finding.text,
+                    "count": 1,
+                    "reason": "TODO: justify this baseline entry",
+                }
+                counted[key] = entry
+            entries = list(counted.values())
+        else:
+            for (code, package_path, text), count in sorted(self._slots.items()):
+                entries.append(
+                    {
+                        "code": code,
+                        "path": package_path,
+                        "text": text,
+                        "count": count,
+                        "reason": "TODO: justify this baseline entry",
+                    }
+                )
+        for entry in entries:
+            if entry.get("count") == 1:
+                del entry["count"]
+        payload = {"version": _VERSION, "entries": entries}
+        Path(str(path)).write_text(
+            json.dumps(payload, indent=2, sort_keys=False) + "\n", encoding="utf-8"
+        )

@@ -1,0 +1,135 @@
+"""Command-line front-end: ``python -m repro.lint`` / ``repro lint``.
+
+Exit codes: 0 = clean (no new findings), 1 = new findings (or parse
+errors), 2 = usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, TextIO
+
+from .baseline import Baseline
+from .engine import lint_paths
+from .rules import RULES
+
+__all__ = ["main", "build_parser", "run"]
+
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description="Determinism & purity static analysis for the repro "
+        "codebase (rules REP001-REP006; see docs/static-analysis.md).",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to scan (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="diagnostic output format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="baseline JSON of grandfathered findings "
+        "(default: ./%s if it exists)" % DEFAULT_BASELINE,
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline: report every finding as new",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write the current findings to the baseline file and exit 0 "
+        "(fill in each entry's `reason` before committing)",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print every rule code and summary, then exit",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the summary line (diagnostics only)",
+    )
+    return parser
+
+
+def _print_rules(out: TextIO) -> None:
+    for rule in RULES:
+        out.write("%s %-24s %s\n" % (rule.code, rule.name, rule.summary))
+
+
+def run(args: argparse.Namespace, out: TextIO, err: TextIO) -> int:
+    if args.list_rules:
+        _print_rules(out)
+        return 0
+
+    codes = None
+    if args.select:
+        codes = [code.strip().upper() for code in args.select.split(",") if code.strip()]
+
+    baseline_path = args.baseline or DEFAULT_BASELINE
+    if args.no_baseline:
+        baseline = Baseline.empty()
+    else:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except (ValueError, json.JSONDecodeError) as exc:
+            err.write("repro.lint: bad baseline %s: %s\n" % (baseline_path, exc))
+            return 2
+
+    try:
+        report = lint_paths(args.paths, baseline=baseline, codes=codes)
+    except ValueError as exc:  # unknown --select code
+        err.write("repro.lint: %s\n" % exc)
+        return 2
+
+    if args.write_baseline:
+        findings = report.all_findings
+        Baseline.empty().write(baseline_path, findings=findings)
+        err.write(
+            "repro.lint: wrote %d entr%s to %s (fill in each `reason`)\n"
+            % (len(findings), "y" if len(findings) == 1 else "ies", baseline_path)
+        )
+        return 0
+
+    if args.format == "json":
+        payload = {
+            "new": [finding.to_dict() for finding in report.new],
+            "baselined": [finding.to_dict() for finding in report.baselined],
+            "suppressed": [finding.to_dict() for finding in report.suppressed],
+            "stale_baseline": [list(key) for key in report.stale_baseline],
+            "files_scanned": len(report.files),
+            "ok": report.ok,
+        }
+        out.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    else:
+        for finding in report.new:
+            out.write(finding.format() + "\n")
+        for code, package_path, text in report.stale_baseline:
+            err.write(
+                "repro.lint: stale baseline entry %s %s %r (matches nothing; "
+                "remove it)\n" % (code, package_path, text)
+            )
+        if not args.quiet:
+            err.write("repro.lint: %s\n" % report.summary())
+    return 0 if report.ok else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    for path in args.paths:
+        if not Path(path).exists():
+            parser.error("path does not exist: %s" % path)
+    return run(args, sys.stdout, sys.stderr)

@@ -1,0 +1,96 @@
+"""REP004 -- no ``==`` / ``!=`` on simulated-time floats.
+
+Simulated timestamps are accumulated floats (``env.now`` advances by
+summed delays), so exact equality is representation-dependent: two
+logically simultaneous instants can differ in the last ulp depending on
+the order operations were fused, and a refactor that preserves the
+event *order* can still flip every ``t == now`` branch.  Use the
+tolerance helpers in :mod:`repro.sim.simtime` (``times_equal`` /
+``times_close``) or an ordering comparison instead.
+
+Detection is a name heuristic: a comparison operand is "time-like" when
+it is (or dereferences to) ``now`` / ``sim_time``, ends in ``_time`` or
+``_time_s``, or is one of the known timestamp fields (``created_at``,
+``expires_at``, ``deadline_s`` ...).  Comparing such an operand with
+``==``/``!=`` is flagged regardless of the other side -- even literal
+zero, because ``total_time == 0`` on an accumulated float is exactly
+the bug class this rule exists for.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .findings import Finding
+from .rules import FileRule
+
+__all__ = ["NoFloatTimeEquality"]
+
+_EXACT_NAMES = frozenset(
+    {
+        "now",
+        "sim_time",
+        "time_s",
+        "created_at",
+        "expires_at",
+        "deadline",
+        "deadline_s",
+        "timestamp",
+    }
+)
+_SUFFIXES = ("_time", "_time_s")
+
+
+def _terminal_identifier(node: ast.AST) -> str:
+    """The rightmost identifier of a name/attribute/call operand."""
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def _is_time_like(node: ast.AST) -> bool:
+    name = _terminal_identifier(node)
+    if not name:
+        return False
+    return name in _EXACT_NAMES or name.endswith(_SUFFIXES)
+
+
+class NoFloatTimeEquality(FileRule):
+    """REP004 -- require tolerance helpers for simulated-time equality."""
+
+    code = "REP004"
+    name = "no-float-time-equality"
+    summary = (
+        "never compare simulated-time floats with == / != -- use "
+        "repro.sim.simtime.times_equal/times_close or an ordering test"
+    )
+
+    def check(self, file) -> Iterator[Finding]:
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                culprit = None
+                if _is_time_like(left):
+                    culprit = _terminal_identifier(left)
+                elif _is_time_like(right):
+                    culprit = _terminal_identifier(right)
+                if culprit is None:
+                    continue
+                symbol = "==" if isinstance(op, ast.Eq) else "!="
+                yield self.finding(
+                    file,
+                    node.lineno,
+                    node.col_offset,
+                    "`%s` compared with `%s`: simulated-time floats must use "
+                    "repro.sim.simtime.times_equal/times_close (or <=, <) "
+                    "instead of exact equality" % (culprit, symbol),
+                )

@@ -38,7 +38,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
 from ..metrics.traffic import TrafficLedger
 from ..obs.counters import FabricCounters
@@ -107,8 +107,8 @@ class _FastTransfer:
         env = fabric.env
         self.fabric = fabric
         self.env = env
-        self.message = message
-        self.done = Event(env)
+        self.message: Message = message
+        self.done: Event = Event(env)
         self.entered_port = 0.0
         self.claim: object = None
         hop = Event(env)
@@ -133,7 +133,7 @@ class _FastTransfer:
         return done
 
     # ------------------------------------------------------------------
-    def _next_hop(self, callback, delay: float) -> None:
+    def _next_hop(self, callback: Callable[[Event], None], delay: float) -> None:
         """Re-arm the (already processed) hop event for the next stage."""
         hop = self.hop
         hop.callbacks = [callback]
@@ -154,10 +154,12 @@ class _FastTransfer:
             done.callbacks = None
         # The transfer (and its internal hop event) is now idle; hand it
         # back to the fabric for the next send().  ``done`` stays with
-        # the caller and is never recycled.
-        self.message = None
+        # the caller and is never recycled.  Unbinding (rather than
+        # None-ing) the slots drops the references while pooled without
+        # widening the attribute types to Optional.
+        del self.message
         self.claim = None
-        self.done = None
+        del self.done
         self.fabric._transfer_pool.append(self)
 
     def _drop(self, node_id: str, reason: str, counter_attr: str) -> None:
@@ -369,7 +371,7 @@ class NetworkFabric:
             return pool.pop()._restart(message)
         return _FastTransfer(self, message).done
 
-    def _transfer(self, message: Message):
+    def _transfer(self, message: Message) -> Generator[Event, Any, bool]:
         """Legacy generator transport (``REPRO_LEGACY_TRANSPORT=1``)."""
         src: NetworkNode = message.src
         dst: NetworkNode = message.dst

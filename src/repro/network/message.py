@@ -67,7 +67,7 @@ def _next_seq() -> int:
     return _SEQ
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """A single message in flight.
 

@@ -16,7 +16,7 @@ from typing import List, Optional
 
 from ..sim.engine import Environment
 from ..sim.rng import StreamRegistry
-from .geo import City, CityCatalog, GeoPoint
+from .geo import CityCatalog, GeoPoint
 from .isp import ISP, ISPRegistry
 from .node import (
     DEFAULT_PROVIDER_UPLINK_KBPS,

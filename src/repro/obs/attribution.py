@@ -17,7 +17,7 @@ required.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, List, Tuple
 
 __all__ = ["attribution_components", "format_attribution_table"]
 

@@ -18,6 +18,7 @@ from .engine import (
 from .process import AllOf, AnyOf, Condition, ConditionValue, Interrupt, Process
 from .resources import PriorityItem, PriorityStore, Release, Request, Resource, Store
 from .rng import RandomStream, StreamRegistry, derive_seed
+from .simtime import TIME_EPS_S, is_zero_duration, times_close, times_equal
 
 __all__ = [
     "Environment",
@@ -38,6 +39,10 @@ __all__ = [
     "RandomStream",
     "StreamRegistry",
     "derive_seed",
+    "TIME_EPS_S",
+    "times_equal",
+    "times_close",
+    "is_zero_duration",
     "SimulationError",
     "EmptySchedule",
     "StopSimulation",

@@ -16,7 +16,20 @@ produce identical event orderings.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Iterable, List, Optional, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Generator,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from .process import Process
 
 __all__ = [
     "Environment",
@@ -192,6 +205,10 @@ class _PooledTimeout(Timeout):
     __slots__ = ()
 
 
+#: One scheduled entry in the event heap: ``(time, priority, seq, event)``.
+_QueueEntry = Tuple[float, int, int, Event]
+
+
 class Environment:
     """Execution environment: simulation clock plus the event queue.
 
@@ -217,10 +234,10 @@ class Environment:
         from ..obs.tracer import NULL_TRACER
 
         self._now = float(initial_time)
-        self._queue: List[Any] = []  # heap of (time, priority, seq, event)
+        self._queue: List[_QueueEntry] = []
         self._eid = 0
         self._events_processed = 0
-        self._active_proc: Optional[Any] = None
+        self._active_proc: Optional["Process"] = None
         self._timeout_pool: List[_PooledTimeout] = []
         #: Observability hook; NULL_TRACER (a shared no-op) by default.
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -234,7 +251,7 @@ class Environment:
         return self._now
 
     @property
-    def active_process(self):
+    def active_process(self) -> Optional["Process"]:
         """The process currently being resumed (or ``None``)."""
         return self._active_proc
 
@@ -252,13 +269,20 @@ class Environment:
     # ------------------------------------------------------------------
     # scheduling / stepping
     # ------------------------------------------------------------------
-    def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0,
-                 _push=_heappush) -> None:
+    def schedule(
+        self,
+        event: Event,
+        priority: int = NORMAL,
+        delay: float = 0.0,
+        _push: Callable[[List[_QueueEntry], _QueueEntry], None] = _heappush,
+    ) -> None:
         """Schedule *event* ``delay`` time units into the future."""
         self._eid += 1
         _push(self._queue, (self._now + delay, priority, self._eid, event))
 
-    def step(self, _pop=_heappop) -> None:
+    def step(
+        self, _pop: Callable[[List[_QueueEntry]], _QueueEntry] = _heappop
+    ) -> None:
         """Process the next scheduled event.
 
         Raises :class:`EmptySchedule` when the queue is empty and
@@ -357,7 +381,7 @@ class Environment:
         self.schedule(timeout, delay=delay)
         return timeout
 
-    def process(self, generator) -> "Any":
+    def process(self, generator: Generator[Event, Any, Any]) -> "Process":
         """Start a new :class:`~repro.sim.process.Process` from *generator*."""
         from .process import Process
 

@@ -9,9 +9,9 @@ event's exception thrown into it if the event failed).
 
 from __future__ import annotations
 
-from typing import Any, Generator, List, Optional
+from typing import Any, Generator, Iterator, List, Optional, Tuple
 
-from .engine import Environment, Event, NORMAL, URGENT, _PENDING
+from .engine import Environment, Event, URGENT, _PENDING
 
 __all__ = ["Process", "Interrupt", "Condition", "AllOf", "AnyOf", "ConditionValue"]
 
@@ -182,16 +182,16 @@ class ConditionValue:
     def __repr__(self) -> str:
         return "<ConditionValue %s>" % self.todict()
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Event]:
         return iter(self.events)
 
-    def keys(self):
+    def keys(self) -> Iterator[Event]:
         return iter(self.events)
 
-    def values(self):
+    def values(self) -> Iterator[Any]:
         return (event._value for event in self.events)
 
-    def items(self):
+    def items(self) -> Iterator[Tuple[Event, Any]]:
         return ((event, event._value) for event in self.events)
 
     def todict(self) -> dict:

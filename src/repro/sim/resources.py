@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
-from typing import Any, Deque, List, Optional
+from typing import Any, Deque, List
 
 from .engine import Environment, Event
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import hashlib
 import random
-from typing import Dict, Iterator, List, Optional, Sequence, TypeVar
+from typing import Dict, Iterator, List, Sequence, TypeVar
 
 __all__ = ["RandomStream", "StreamRegistry", "derive_seed"]
 

@@ -1,0 +1,38 @@
+"""Tolerance helpers for comparing simulated-time floats.
+
+Simulated timestamps are accumulated floats (``env.now`` advances by
+summed delays), so exact ``==`` / ``!=`` is representation-dependent:
+two logically simultaneous instants can disagree in the last ulp
+depending on how the intermediate sums were ordered.  Rule REP004
+(:mod:`repro.lint`) therefore bans exact equality on time-like values;
+these helpers are the sanctioned replacement.
+
+``TIME_EPS_S`` (1 ns of simulated time) is far below every delay the
+models produce (the shortest is the 4 ms base path latency) and far
+above double-precision noise at realistic horizons (an 8760 s run has
+ulp ~1e-12 s), so it cleanly separates "the same instant" from "one
+event later".
+"""
+
+from __future__ import annotations
+
+__all__ = ["TIME_EPS_S", "times_equal", "times_close", "is_zero_duration"]
+
+#: Default absolute tolerance for simulated-time comparison, seconds.
+TIME_EPS_S = 1e-9
+
+
+def times_equal(a: float, b: float, tol_s: float = TIME_EPS_S) -> bool:
+    """``True`` when two simulated instants differ by at most *tol_s*."""
+    return abs(a - b) <= tol_s
+
+
+def times_close(a: float, b: float, rel: float = 1e-9, tol_s: float = TIME_EPS_S) -> bool:
+    """Like :func:`times_equal` with an extra relative term for
+    far-future horizons (``|a - b| <= tol_s + rel * max(|a|, |b|)``)."""
+    return abs(a - b) <= tol_s + rel * max(abs(a), abs(b))
+
+
+def is_zero_duration(duration_s: float, tol_s: float = TIME_EPS_S) -> bool:
+    """``True`` when an accumulated duration is indistinguishable from 0."""
+    return abs(duration_s) <= tol_s

@@ -15,10 +15,11 @@ show the successor has no lag by construction).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..sim.simtime import is_zero_duration
 from .records import CdnTrace, DayTrace, PollSeries
 
 __all__ = [
@@ -161,7 +162,7 @@ def consistency_ratio(trace: CdnTrace, server_id: str) -> float:
         alpha = alpha_times(day)
         total_inconsistency += float(episode_lengths(series, alpha).sum())
         total_time += day.session_length_s
-    if total_time == 0:
+    if is_zero_duration(total_time):
         raise KeyError("server %r has no trace data" % (server_id,))
     return 1.0 - total_inconsistency / total_time
 

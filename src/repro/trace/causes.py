@@ -14,15 +14,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..metrics.stats import PercentileSummary, pearson_r, summarize
-from .analysis import (
-    alpha_times,
-    consistency_ratio,
-    day_inconsistencies,
-    episode_lengths,
-    provider_inconsistencies,
-)
+from .analysis import alpha_times, consistency_ratio, episode_lengths, provider_inconsistencies
 from .clustering import distance_bands, isp_clusters
-from .records import CdnTrace, DayTrace
+from .records import CdnTrace
 
 __all__ = [
     "provider_inconsistency_sample",

@@ -9,9 +9,8 @@ is a grouping of ids, with helpers for distance-based grouping (Fig. 8).
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
-import numpy as np
 
 from .records import CdnTrace
 

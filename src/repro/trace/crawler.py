@@ -16,7 +16,6 @@ have sub-second noise.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
 
 import numpy as np
 

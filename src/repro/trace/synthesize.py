@@ -25,12 +25,12 @@ lives in the test suite.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..network.geo import City, CityCatalog, GeoPoint, haversine_km
+from ..network.geo import CityCatalog, haversine_km
 from ..sim.rng import RandomStream, StreamRegistry
 from .crawler import ClockModel
 from .records import CdnTrace, DayTrace, PollSeries, ServerInfo
@@ -45,7 +45,7 @@ __all__ = [
 ]
 
 
-@dataclass
+@dataclass(kw_only=True)
 class SynthesisConfig:
     """Tunables of the generative trace model.
 

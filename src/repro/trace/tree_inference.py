@@ -22,7 +22,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .analysis import day_inconsistencies, server_max_inconsistency, server_mean_inconsistencies
+from .analysis import day_inconsistencies, server_max_inconsistency
 from .clustering import geo_clusters
 from .records import CdnTrace
 

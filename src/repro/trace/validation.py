@@ -16,7 +16,7 @@ close to the time of this update" (Section 3.1) *quantitatively*:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 import numpy as np
 

@@ -1,0 +1,12 @@
+"""noqa fixture: matching codes suppress, non-matching codes do not."""
+
+import random
+
+
+def draws(env, deadline):
+    a = random.random()  # repro: noqa REP001 -- fixture: suppressed on purpose
+    b = random.random()  # repro: noqa REP002 -- wrong code: still flagged
+    c = random.random()  # repro: noqa -- bare directive suppresses everything
+    if env.now == deadline:  # repro: noqa REP004, REP001 -- list form
+        a += 1
+    return a, b, c

@@ -1,0 +1,8 @@
+"""REP001 scope fixture: module RNG outside sim/cdn/consistency/network
+is not this rule's business (REP001 is scoped, not repo-wide)."""
+
+import random
+
+
+def sample_for_plotting():
+    return random.random()

@@ -1,0 +1,11 @@
+"""REP001 positive fixture: module-level RNG inside a sim package."""
+
+import random
+from random import choice
+
+
+def draw_badly():
+    jitter = random.random()
+    pick = random.randint(0, 10)
+    other = choice([1, 2, 3])
+    return jitter, pick, other

@@ -1,0 +1,11 @@
+"""REP001 negative fixture: seeded instances and threaded streams only."""
+
+import random
+
+
+def make_seeded_stream(seed):
+    return random.Random(seed)
+
+
+def draw_properly(stream):
+    return stream.uniform(0.0, 1.0)

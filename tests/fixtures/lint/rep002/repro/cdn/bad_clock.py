@@ -1,0 +1,12 @@
+"""REP002 positive fixture: wall-clock reads inside simulation code."""
+
+import datetime
+import time
+from time import perf_counter
+
+
+def stamp():
+    started = time.time()
+    tick = perf_counter()
+    today = datetime.datetime.now()
+    return started, tick, today

@@ -1,0 +1,5 @@
+"""REP002 negative fixture: simulated time only."""
+
+
+def stamp(env):
+    return env.now

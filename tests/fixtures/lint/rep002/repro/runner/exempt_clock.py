@@ -1,0 +1,7 @@
+"""REP002 exemption fixture: the runner measures real wall time."""
+
+import time
+
+
+def wall_elapsed(started):
+    return time.perf_counter() - started

@@ -1,0 +1,10 @@
+"""REP003 positive fixture: an observer that schedules and draws RNG."""
+
+
+class MeddlingTracer:
+    enabled = True
+
+    def emit(self, env, stream, kind, node):
+        env.schedule(env.event())
+        env.timeout(1.0)
+        return stream.random()

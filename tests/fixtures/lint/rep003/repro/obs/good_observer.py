@@ -1,0 +1,11 @@
+"""REP003 negative fixture: a purely observational counter."""
+
+
+class CountingTracer:
+    enabled = True
+
+    def __init__(self):
+        self.counts = {}
+
+    def emit(self, time, kind, node, **detail):
+        self.counts[kind] = self.counts.get(kind, 0) + 1

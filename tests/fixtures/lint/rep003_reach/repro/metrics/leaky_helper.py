@@ -1,0 +1,6 @@
+"""Imported from repro.obs, so the purity closure must reach it."""
+
+
+def perturb(env):
+    env.timeout(0.5)
+    return env.now

@@ -1,0 +1,7 @@
+"""NOT imported from repro.obs: scheduling here is fine (REP003 only
+polices code reachable from the observability layer)."""
+
+
+def legitimate_actor(env):
+    env.timeout(2.0)
+    return env.process(iter(()))

@@ -1,0 +1,7 @@
+"""REP003 reachability fixture: the impurity hides one import away."""
+
+from ..metrics.leaky_helper import perturb
+
+
+def snapshot(env):
+    return perturb(env)

@@ -1,0 +1,9 @@
+"""REP004 positive fixture: exact equality on simulated-time floats."""
+
+
+def check(env, deadline, total_time):
+    if env.now == deadline:
+        return True
+    if total_time != 0:
+        return False
+    return env.now != 3.0

@@ -1,0 +1,11 @@
+"""REP004 negative fixture: tolerance helpers and ordering tests."""
+
+from .simtime import is_zero_duration, times_equal
+
+
+def check(env, deadline, total_time):
+    if times_equal(env.now, deadline):
+        return True
+    if is_zero_duration(total_time):
+        return False
+    return env.now <= deadline

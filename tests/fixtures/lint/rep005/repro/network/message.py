@@ -1,0 +1,9 @@
+"""REP005 positive fixture: manifest-listed hot class without __slots__."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Message:
+    kind: str
+    size_kb: float

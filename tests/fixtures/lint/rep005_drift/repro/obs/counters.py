@@ -1,0 +1,9 @@
+"""REP005 drift fixture: the manifest lists FabricCounters here, but the
+class was renamed -- the manifest itself must be flagged as stale."""
+
+
+class RenamedCounters:
+    __slots__ = ("messages_sent",)
+
+    def __init__(self):
+        self.messages_sent = 0

@@ -1,0 +1,9 @@
+"""REP005 negative fixture: the slotted form the manifest demands."""
+
+from dataclasses import dataclass
+
+
+@dataclass(slots=True)
+class Message:
+    kind: str
+    size_kb: float

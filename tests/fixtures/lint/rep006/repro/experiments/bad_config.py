@@ -1,0 +1,14 @@
+"""REP006 positive fixture: a positional config dataclass."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class SweepConfig:
+    n_servers: int = 10
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class FrozenButPositionalConfig:
+    ttl_s: float = 10.0

@@ -1,0 +1,13 @@
+"""REP006 negative fixture: kw-only configs and a non-config dataclass."""
+
+from dataclasses import dataclass
+
+
+@dataclass(kw_only=True)
+class GoodConfig:
+    n_servers: int = 10
+
+
+@dataclass
+class PlainRecord:
+    value: float = 0.0

@@ -12,7 +12,7 @@ from repro.cdn import (
     SwitchEveryVisitSelector,
     schedule_absence,
 )
-from repro.consistency import InvalidationPolicy, PushPolicy, TTLPolicy, UnicastInfrastructure
+from repro.consistency import PushPolicy, TTLPolicy, UnicastInfrastructure
 from repro.network import NetworkFabric, TopologyBuilder
 from repro.sim import Environment, StreamRegistry
 

@@ -1,6 +1,5 @@
 """Determinism and priority-ordering tests for the engine and fabric."""
 
-import pytest
 
 from repro.cdn import LiveContent, ProviderActor, ServerActor
 from repro.consistency import SelfAdaptivePolicy, UnicastInfrastructure

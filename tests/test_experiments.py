@@ -4,7 +4,6 @@
 import pytest
 
 from repro.experiments import (
-    Section3Context,
     TestbedConfig,
     build_deployment,
     build_system,

@@ -7,7 +7,6 @@ the headline statistic (mean inconsistency ~ TTL/2 + delivery noise).
 """
 
 import numpy as np
-import pytest
 
 from repro.cdn import (
     EndUserActor,
@@ -17,13 +16,12 @@ from repro.cdn import (
     ServerActor,
 )
 from repro.consistency import TTLPolicy, UnicastInfrastructure
-from repro.experiments import build_system, smoke_scale
+from repro.experiments import build_system
 from repro.experiments.section5 import section5_config
 from repro.metrics.consistency import update_lags
 from repro.network import NetworkFabric, TopologyBuilder
 from repro.sim import Environment, StreamRegistry
 from repro.trace import SynthesisConfig, TraceSynthesizer, all_inconsistencies
-from repro.trace.analysis import alpha_times, episode_lengths
 from repro.trace.records import CdnTrace, DayTrace, PollSeries, ServerInfo
 from repro.trace.workload import LiveGameWorkload
 

@@ -7,7 +7,6 @@ from repro.cdn.client import Observation
 from repro.cdn.content import LiveContent
 from repro.metrics import (
     Cdf,
-    KindTotals,
     TrafficLedger,
     mean,
     pearson_r,

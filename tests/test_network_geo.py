@@ -2,13 +2,7 @@
 
 import pytest
 
-from repro.network.geo import (
-    City,
-    CityCatalog,
-    GeoPoint,
-    WORLD_CITIES,
-    haversine_km,
-)
+from repro.network.geo import CityCatalog, GeoPoint, WORLD_CITIES, haversine_km
 from repro.sim import StreamRegistry
 
 

@@ -9,7 +9,7 @@ from repro.consistency.hilbert import hilbert_number, hilbert_to_xy, xy_to_hilbe
 from repro.metrics.consistency import stale_observation_fraction, update_lags
 from repro.metrics.stats import Cdf
 from repro.network.geo import GeoPoint, haversine_km
-from repro.sim import Environment, StreamRegistry, derive_seed
+from repro.sim import Environment, derive_seed
 from repro.trace.records import PollSeries
 
 

@@ -5,7 +5,6 @@ import os
 
 import pytest
 
-from repro.experiments import smoke_scale
 from repro.experiments.section4 import fig14_unicast_inconsistency
 from repro.runner import (
     REGISTRY_ENV,

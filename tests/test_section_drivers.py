@@ -1,6 +1,5 @@
 """Smoke + shape tests for the figure drivers not covered elsewhere."""
 
-import numpy as np
 import pytest
 
 from repro.experiments import (
@@ -14,7 +13,6 @@ from repro.experiments import (
     fig10_absence,
     fig11_static_tree,
     fig12_dynamic_tree,
-    smoke_scale,
 )
 from repro.experiments.section4 import (
     fig14_unicast_inconsistency,

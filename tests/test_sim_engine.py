@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import EmptySchedule, Environment, Event, Timeout
+from repro.sim import EmptySchedule, Environment
 
 
 class TestEvent:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import RandomStream, StreamRegistry, derive_seed
+from repro.sim import StreamRegistry, derive_seed
 
 
 class TestDeriveSeed:

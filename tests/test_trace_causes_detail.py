@@ -1,7 +1,6 @@
 """Detailed unit tests for the cause analyses on hand-crafted traces."""
 
 import numpy as np
-import pytest
 
 from repro.metrics.stats import PercentileSummary
 from repro.network.geo import GeoPoint

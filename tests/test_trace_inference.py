@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.sim import StreamRegistry
 from repro.trace import (
     TraceSynthesizer,
     SynthesisConfig,
@@ -16,11 +15,7 @@ from repro.trace import (
     tree_existence_analysis,
 )
 from repro.trace.synthesize import UserDaySeries
-from repro.trace.user_view import (
-    continuous_times,
-    observation_flags,
-    redirected_fractions,
-)
+from repro.trace.user_view import continuous_times, observation_flags
 
 
 class TestTtlRefinement:

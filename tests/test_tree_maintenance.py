@@ -8,7 +8,7 @@ from repro.consistency import (
     PushPolicy,
     TreeMaintainer,
 )
-from repro.network import MessageKind, NetworkFabric, TopologyBuilder
+from repro.network import NetworkFabric, TopologyBuilder
 from repro.sim import Environment, StreamRegistry
 
 
