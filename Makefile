@@ -37,19 +37,25 @@ smoke: lint
 test:
 	$(PYTEST) -q tests/
 
-# Benchmark trajectory: writes BENCH_engine.json / BENCH_section4.json
-# at the repo root and gates on gross (>3x) regressions.  See
-# docs/performance.md.
+# Benchmark trajectory: each run appends a timestamped entry to the
+# BENCH_engine.json / BENCH_section4.json histories at the repo root;
+# check_bench gates the latest entry against the trailing median (and
+# gross >3x transport regressions).  See docs/performance.md and
+# docs/observability.md.
 bench: bench-engine bench-section4
 	python benchmarks/check_bench.py BENCH_engine.json BENCH_section4.json
 
 bench-engine:
 	$(PYTEST) benchmarks/test_bench_engine.py --benchmark-only \
-		--benchmark-json=BENCH_engine.json
+		--benchmark-json=.bench_engine.snapshot.json
+	python benchmarks/bench_history.py append BENCH_engine.json \
+		.bench_engine.snapshot.json
 
 bench-section4:
 	$(PYTEST) benchmarks/test_bench_section4.py --benchmark-only \
-		--benchmark-json=BENCH_section4.json
+		--benchmark-json=.bench_section4.snapshot.json
+	python benchmarks/bench_history.py append BENCH_section4.json \
+		.bench_section4.snapshot.json
 
 bench-all:
 	$(PYTEST) benchmarks/ --benchmark-only

@@ -1,0 +1,159 @@
+"""Append-only benchmark trajectory for BENCH_*.json.
+
+``make bench`` used to overwrite ``BENCH_*.json`` with the latest
+pytest-benchmark document, so there was never anything to compare a run
+against.  Now each ``BENCH_*.json`` holds a trajectory::
+
+    {
+      "format": 1,
+      "history": [
+        {
+          "recorded": "<ISO timestamp from pytest-benchmark>",
+          "machine": "<node name>",
+          "benchmarks": [
+            {"name": ..., "stats": {"min": ..., "mean": ..., "stddev": ...},
+             "extra_info": {...}},
+            ...
+          ]
+        },
+        ...  # newest last
+      ]
+    }
+
+``load_trajectory`` also accepts the legacy single-snapshot shape (a
+raw pytest-benchmark document) by treating it as a one-entry history,
+so the recorded ~2.2x transport speedup from the original snapshot
+survives as entry 0.
+
+CLI: ``python benchmarks/bench_history.py append TRAJECTORY SNAPSHOT``
+appends one pytest-benchmark JSON to a trajectory (creating or
+migrating the trajectory as needed) -- this is what ``make bench`` runs
+after each benchmark session.
+"""
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+
+FORMAT = 1
+
+#: Entries kept per trajectory; oldest age out first.
+MAX_ENTRIES = 200
+
+#: Per-benchmark stats carried into the trajectory (the full
+#: pytest-benchmark stats block is ~25 fields of mostly derivable data).
+_KEPT_STATS = ("min", "max", "mean", "median", "stddev", "rounds")
+
+
+def _slim_entry(doc):
+    """One trajectory entry from a pytest-benchmark document."""
+    benchmarks = []
+    for bench in doc.get("benchmarks", []):
+        stats = bench.get("stats", {})
+        benchmarks.append(
+            {
+                "name": bench.get("name", "?"),
+                "stats": {k: stats[k] for k in _KEPT_STATS if k in stats},
+                "extra_info": bench.get("extra_info") or {},
+            }
+        )
+    return {
+        "recorded": doc.get("datetime", ""),
+        "machine": (doc.get("machine_info") or {}).get("node", ""),
+        "benchmarks": benchmarks,
+    }
+
+
+def load_trajectory(path):
+    """The trajectory at *path*; legacy snapshots become entry 0.
+
+    Raises ``ValueError`` on unreadable/unrecognisable content; a
+    missing file is an empty trajectory.
+    """
+    try:
+        with open(path) as handle:
+            doc = json.load(handle)
+    except FileNotFoundError:
+        return {"format": FORMAT, "history": []}
+    except (OSError, ValueError) as exc:
+        raise ValueError("cannot read %s: %s" % (path, exc))
+    if isinstance(doc, dict) and isinstance(doc.get("history"), list):
+        return {"format": FORMAT, "history": doc["history"]}
+    if isinstance(doc, dict) and "benchmarks" in doc:
+        # Legacy single pytest-benchmark snapshot.
+        return {"format": FORMAT, "history": [_slim_entry(doc)]}
+    raise ValueError(
+        "%s is neither a benchmark trajectory nor a pytest-benchmark "
+        "snapshot" % path
+    )
+
+
+def append_snapshot(trajectory_path, snapshot_doc):
+    """Append *snapshot_doc* (a pytest-benchmark dict) to the trajectory.
+
+    Returns the number of entries after appending.  The write is atomic
+    (tempfile + replace) so a crash never truncates the history.
+    """
+    trajectory = load_trajectory(trajectory_path)
+    trajectory["history"].append(_slim_entry(snapshot_doc))
+    del trajectory["history"][:-MAX_ENTRIES]
+    directory = os.path.dirname(os.path.abspath(trajectory_path)) or "."
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=os.path.basename(trajectory_path) + ".", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(trajectory, handle, indent=1)
+            handle.write("\n")
+        os.replace(tmp_path, trajectory_path)
+    finally:
+        if os.path.exists(tmp_path):
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+    return len(trajectory["history"])
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+    append = sub.add_parser(
+        "append", help="append a pytest-benchmark JSON to a trajectory"
+    )
+    append.add_argument("trajectory", help="BENCH_*.json trajectory file")
+    append.add_argument("snapshot", help="pytest-benchmark --benchmark-json output")
+    append.add_argument(
+        "--keep-snapshot", action="store_true",
+        help="do not delete the snapshot file after appending",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.snapshot) as handle:
+            snapshot = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print("bench_history: cannot read %s: %s" % (args.snapshot, exc),
+              file=sys.stderr)
+        return 2
+    try:
+        total = append_snapshot(args.trajectory, snapshot)
+    except ValueError as exc:
+        print("bench_history: %s" % exc, file=sys.stderr)
+        return 2
+    if not args.keep_snapshot:
+        try:
+            os.unlink(args.snapshot)
+        except OSError:
+            pass
+    print(
+        "bench_history: %s now holds %d entr%s"
+        % (args.trajectory, total, "y" if total == 1 else "ies")
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,41 +1,64 @@
 """Benchmark-trajectory gate for BENCH_*.json files.
 
-Reads the ``--benchmark-json`` output of ``make bench``, prints a
-compact table (name, min/mean, any recorded throughput extra_info), and
-enforces two soft gates meant for noisy CI runners:
+Reads benchmark *trajectories* (see ``benchmarks/bench_history.py``;
+the legacy single pytest-benchmark snapshot is still accepted), prints a
+compact table for the latest entry (name, min/mean, any recorded
+throughput extra_info), and enforces three soft gates meant for noisy
+CI runners:
 
-- the transport fast path must not regress to worse than
-  ``1 / --max-regression`` of the legacy path's throughput (default 3x:
-  only a gross regression fails the job -- the >= 2x target is asserted
-  at benchmark time and recorded in extra_info);
-- optionally, against a ``--baseline`` JSON from an earlier run, no
-  benchmark's min time may grow by more than ``--max-regression``.
+- the transport fast path in the latest entry must not regress to worse
+  than ``1 / --max-regression`` of the legacy path's throughput
+  (default 3x: only a gross regression fails the job -- the >= 2x
+  target is asserted at benchmark time and recorded in extra_info);
+- against the *trailing median*: each benchmark's latest min time may
+  not exceed ``--max-regression`` times the median min over the earlier
+  entries of the trajectory (single-entry trajectories skip this gate
+  -- there is no history yet);
+- optionally, against a ``--baseline`` JSON from an earlier run
+  (trajectory or legacy snapshot; its latest entry is used).
 
 Exit status 0 on pass, 1 on any gate failure, 2 on unreadable input.
 """
 
 import argparse
-import json
 import sys
+
+from bench_history import load_trajectory
 
 
 def load(path):
     try:
-        with open(path) as handle:
-            return json.load(handle)
-    except (OSError, ValueError) as exc:
-        print("check_bench: cannot read %s: %s" % (path, exc), file=sys.stderr)
+        return load_trajectory(path)
+    except ValueError as exc:
+        print("check_bench: %s" % exc, file=sys.stderr)
         sys.exit(2)
 
 
-def iter_benchmarks(doc):
-    for bench in doc.get("benchmarks", []):
+def latest_entry(trajectory, path):
+    history = trajectory["history"]
+    if not history:
+        print("check_bench: %s has no recorded entries" % path, file=sys.stderr)
+        sys.exit(2)
+    return history[-1]
+
+
+def iter_benchmarks(entry):
+    for bench in entry.get("benchmarks", []):
         yield bench["name"], bench
 
 
-def report(path, doc):
-    print("== %s ==" % path)
-    for name, bench in iter_benchmarks(doc):
+def report(path, trajectory):
+    entry = trajectory["history"][-1]
+    print(
+        "== %s (%d entr%s; latest%s) =="
+        % (
+            path,
+            len(trajectory["history"]),
+            "y" if len(trajectory["history"]) == 1 else "ies",
+            " " + entry["recorded"] if entry.get("recorded") else "",
+        )
+    )
+    for name, bench in iter_benchmarks(entry):
         stats = bench["stats"]
         line = "  %-40s min %8.2f ms  mean %8.2f ms" % (
             name, stats["min"] * 1e3, stats["mean"] * 1e3
@@ -50,10 +73,10 @@ def report(path, doc):
         print(line)
 
 
-def check_transport(doc, max_regression):
-    """The only intra-run gate: fast transport vs its legacy baseline."""
+def check_transport(entry, max_regression):
+    """Intra-entry gate: fast transport vs its legacy baseline."""
     failures = []
-    for name, bench in iter_benchmarks(doc):
+    for name, bench in iter_benchmarks(entry):
         extra = bench.get("extra_info") or {}
         speedup = extra.get("transport_speedup")
         if speedup is None:
@@ -67,10 +90,50 @@ def check_transport(doc, max_regression):
     return failures
 
 
-def check_baseline(doc, baseline, max_regression):
-    base = {name: bench for name, bench in iter_benchmarks(baseline)}
+def _median(values):
+    ordered = sorted(values)
+    middle = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[middle]
+    return 0.5 * (ordered[middle - 1] + ordered[middle])
+
+
+def check_trailing_median(trajectory, max_regression):
+    """Trajectory gate: latest min vs the median min of earlier entries.
+
+    The median -- not the previous entry -- so one anomalously fast or
+    slow run does not poison the reference, and not the all-time best so
+    a machine change re-normalises within a few runs.
+    """
+    history = trajectory["history"]
+    if len(history) < 2:
+        return []
+    latest = history[-1]
     failures = []
-    for name, bench in iter_benchmarks(doc):
+    for name, bench in iter_benchmarks(latest):
+        earlier = [
+            b["stats"]["min"]
+            for entry in history[:-1]
+            for n, b in iter_benchmarks(entry)
+            if n == name and b["stats"].get("min", 0) > 0
+        ]
+        if not earlier:
+            continue
+        reference = _median(earlier)
+        now = bench["stats"]["min"]
+        if now > max_regression * reference:
+            failures.append(
+                "%s: %.2f ms vs trailing median %.2f ms over %d run(s) "
+                "(> %.1fx slower)"
+                % (name, now * 1e3, reference * 1e3, len(earlier), max_regression)
+            )
+    return failures
+
+
+def check_baseline(entry, baseline_entry, max_regression):
+    base = {name: bench for name, bench in iter_benchmarks(baseline_entry)}
+    failures = []
+    for name, bench in iter_benchmarks(entry):
         if name not in base:
             continue
         now = bench["stats"]["min"]
@@ -85,7 +148,7 @@ def check_baseline(doc, baseline, max_regression):
 
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("bench_json", nargs="+", help="BENCH_*.json files")
+    parser.add_argument("bench_json", nargs="+", help="BENCH_*.json trajectories")
     parser.add_argument("--baseline", help="earlier BENCH json to compare against")
     parser.add_argument(
         "--max-regression", type=float, default=3.0,
@@ -93,14 +156,18 @@ def main(argv=None):
     )
     args = parser.parse_args(argv)
 
-    baseline = load(args.baseline) if args.baseline else None
+    baseline_entry = None
+    if args.baseline:
+        baseline_entry = latest_entry(load(args.baseline), args.baseline)
     failures = []
     for path in args.bench_json:
-        doc = load(path)
-        report(path, doc)
-        failures += check_transport(doc, args.max_regression)
-        if baseline is not None:
-            failures += check_baseline(doc, baseline, args.max_regression)
+        trajectory = load(path)
+        entry = latest_entry(trajectory, path)
+        report(path, trajectory)
+        failures += check_transport(entry, args.max_regression)
+        failures += check_trailing_median(trajectory, args.max_regression)
+        if baseline_entry is not None:
+            failures += check_baseline(entry, baseline_entry, args.max_regression)
 
     if failures:
         for failure in failures:

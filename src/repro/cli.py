@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Seven subcommands mirroring the paper's workflow::
+Nine subcommands mirroring the paper's workflow::
 
     python -m repro measure    # Section 3: synthesize + analyse a crawl
     python -m repro evaluate   # Section 4: one method on one infrastructure
@@ -9,10 +9,15 @@ Seven subcommands mirroring the paper's workflow::
     python -m repro report     # regenerate the EXPERIMENTS.md report
     python -m repro trace      # run one traced deployment, dump JSONL events
     python -m repro lint       # determinism/purity static analysis (REPxxx)
+    python -m repro metrics    # harness-telemetry rollup (JSON / Prometheus)
+    python -m repro profile    # top-N span table from a run's telemetry
 
 ``sweep`` and ``report`` accept ``--workers`` (or ``REPRO_WORKERS``) to
 fan deployments over a process pool, and ``--registry`` (or
-``REPRO_RUN_REGISTRY``) to memoize completed runs on disk.
+``REPRO_RUN_REGISTRY``) to memoize completed runs on disk.  Runs with a
+registry also append a harness-telemetry rollup to
+``<registry>.telemetry.json``, which ``metrics`` and ``profile`` read
+back (see docs/observability.md).
 """
 
 from __future__ import annotations
@@ -50,6 +55,64 @@ def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
         help="run-registry JSON file memoizing completed deployments "
         "(default: $REPRO_RUN_REGISTRY, unset = no memoization)",
     )
+
+
+def _add_telemetry_source_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "artifact", nargs="?", default=None, metavar="TELEMETRY_JSON",
+        help="telemetry artifact path (default: derived from --registry "
+        "or $REPRO_RUN_REGISTRY as <registry>.telemetry.json)",
+    )
+    parser.add_argument(
+        "--registry", default=None, metavar="PATH",
+        help="run-registry path whose telemetry artifact to read "
+        "(default: $REPRO_RUN_REGISTRY)",
+    )
+    parser.add_argument(
+        "--run", type=int, default=-1, metavar="N",
+        help="which recorded run entry to show; negative counts from the "
+        "end (default: -1 = latest)",
+    )
+
+
+def _resolve_telemetry_artifact(args: argparse.Namespace) -> str:
+    import os
+
+    from .obs.telemetry import default_artifact_path
+    from .runner.registry import REGISTRY_ENV
+
+    if args.artifact:
+        return args.artifact
+    registry = args.registry or os.environ.get(REGISTRY_ENV)
+    if not registry:
+        raise SystemExit(
+            "no telemetry source: pass TELEMETRY_JSON, --registry, or set "
+            "$%s" % REGISTRY_ENV
+        )
+    return default_artifact_path(registry)
+
+
+def _load_run_entry(path: str, run: int):
+    """(artifact, entry) for entry index *run*; exits with code 2 on error."""
+    from .obs.telemetry import load_artifact
+
+    try:
+        artifact = load_artifact(path)
+    except ValueError as error:
+        raise SystemExit(str(error))
+    runs = artifact["runs"]
+    if not runs:
+        print("telemetry artifact %s has no recorded runs" % path, file=sys.stderr)
+        raise SystemExit(2)
+    try:
+        entry = runs[run]
+    except IndexError:
+        print(
+            "run index %d out of range (%d run(s) recorded)" % (run, len(runs)),
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    return artifact, entry
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -189,6 +252,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="determinism & purity static analysis (rules REP001-REP006; "
         "see docs/static-analysis.md)",
         add_help=False,
+    )
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="print a run's harness-telemetry rollup (JSON or Prometheus "
+        "text exposition)",
+    )
+    _add_telemetry_source_arguments(metrics)
+    metrics.add_argument(
+        "--format", choices=("json", "prom"), default="json",
+        help="output format (default: json)",
+    )
+    metrics.add_argument(
+        "--merged", action="store_true",
+        help="merge every recorded run's rollup instead of showing one run",
+    )
+    metrics.add_argument(
+        "--check", action="store_true",
+        help="smoke mode: exit 0 iff the artifact holds at least one "
+        "run with a non-empty rollup (prints a one-line summary)",
+    )
+
+    profile = sub.add_parser(
+        "profile",
+        help="top-N telemetry span table (self/cumulative wall time) for "
+        "a run",
+    )
+    _add_telemetry_source_arguments(profile)
+    profile.add_argument(
+        "--top", type=int, default=None, metavar="N",
+        help="show only the top N spans (default: all)",
+    )
+    profile.add_argument(
+        "--sort", choices=("self", "cum", "count"), default="cum",
+        help="ranking column (default: cum)",
+    )
+    profile.add_argument(
+        "--compare", default=None, metavar="RUN",
+        help="delta view against another run: an entry index into the "
+        "same artifact, or a path to another telemetry artifact "
+        "(its latest run)",
     )
 
     return parser
@@ -395,6 +499,91 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs.telemetry import merged_rollup, prometheus_exposition
+
+    path = _resolve_telemetry_artifact(args)
+    artifact, entry = _load_run_entry(path, args.run)
+    if args.check:
+        rollup = entry.get("rollup") or {}
+        populated = bool(rollup.get("spans") or rollup.get("counters"))
+        print(
+            "telemetry %s: %d run(s); latest: %d spec(s), %d worker(s), "
+            "%.2f s wall, rollup %s"
+            % (
+                path,
+                len(artifact["runs"]),
+                entry.get("n_specs", 0),
+                entry.get("workers", 0),
+                entry.get("wall_time_s", 0.0),
+                "ok" if populated else "EMPTY",
+            )
+        )
+        return 0 if populated else 2
+    snapshot = merged_rollup(artifact) if args.merged else entry.get("rollup") or {}
+    if args.format == "prom":
+        sys.stdout.write(prometheus_exposition(snapshot))
+    else:
+        json.dump(snapshot, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .obs.telemetry import format_span_table, span_total_s
+
+    path = _resolve_telemetry_artifact(args)
+    artifact, entry = _load_run_entry(path, args.run)
+    rollup = entry.get("rollup") or {}
+    if args.compare is not None:
+        try:
+            other_entry = _load_run_entry(path, int(args.compare))[1]
+        except ValueError:
+            other_entry = _load_run_entry(args.compare, -1)[1]
+        base = other_entry.get("rollup") or {}
+        print(
+            "span deltas (this run minus baseline; negative self = faster):"
+        )
+        print(
+            "%-38s %8s %12s %12s"
+            % ("span", "dcount", "dself (s)", "dcum (s)")
+        )
+        names = sorted(
+            set(rollup.get("spans", {})) | set(base.get("spans", {}))
+        )
+        zero = {"count": 0, "cum_s": 0.0, "self_s": 0.0}
+        for name in names:
+            ours = rollup.get("spans", {}).get(name, zero)
+            theirs = base.get("spans", {}).get(name, zero)
+            print(
+                "%-38s %+8d %+12.4f %+12.4f"
+                % (
+                    name,
+                    ours["count"] - theirs["count"],
+                    ours["self_s"] - theirs["self_s"],
+                    ours["cum_s"] - theirs["cum_s"],
+                )
+            )
+        print(
+            "total self: %.4f s vs %.4f s"
+            % (span_total_s(rollup), span_total_s(base))
+        )
+        return 0
+    for line in format_span_table(rollup, top=args.top, sort=args.sort):
+        print(line)
+    print(
+        "recorded wall time: %.4f s (%d spec(s), %d worker(s))"
+        % (
+            entry.get("wall_time_s", 0.0),
+            entry.get("n_specs", 0),
+            entry.get("workers", 0),
+        )
+    )
+    return 0
+
+
 _COMMANDS = {
     "measure": _cmd_measure,
     "evaluate": _cmd_evaluate,
@@ -402,6 +591,8 @@ _COMMANDS = {
     "advise": _cmd_advise,
     "report": _cmd_report,
     "trace": _cmd_trace,
+    "metrics": _cmd_metrics,
+    "profile": _cmd_profile,
 }
 
 

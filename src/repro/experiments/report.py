@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import sys
 import time
-from typing import List, Optional, TextIO
+from typing import Dict, List, Optional, TextIO
 
 from ..obs.attribution import format_attribution_table
 from ..runner import Runner
@@ -523,35 +523,80 @@ def generate_report(
     # ------------------------------------------------------------------
     out("## Run statistics")
     out("")
-    out("| figure | deployments | cache hits | wall time (s) | sim events |")
-    out("|---|---|---|---|---|")
-    totals = dict(executed=0, cache_hits=0, wall_time_s=0.0, events_processed=0)
+    out(
+        "| figure | deployments | cache hits | hit rate | wall time (s) "
+        "| sim events | events/s | peak RSS (MB) |"
+    )
+    out("|---|---|---|---|---|---|---|---|")
+    totals = dict(
+        n_specs=0, executed=0, cache_hits=0, wall_time_s=0.0,
+        busy_time_s=0.0, events_processed=0,
+    )
+    peak_rss_kb = 0
+    phase_rollup: Dict[str, Dict[str, float]] = {}
     for figure in sweep_figures:
         stats = figure.to_dict().get("stats", {})
         out(
-            "| %s | %d | %d | %.2f | %d |"
+            "| %s | %d | %d | %.0f%% | %.2f | %d | %.0f | %.1f |"
             % (
                 figure.name,
                 stats.get("executed", 0),
                 stats.get("cache_hits", 0),
+                100.0 * stats.get("registry_hit_rate", 0.0),
                 stats.get("wall_time_s", 0.0),
                 stats.get("events_processed", 0),
+                stats.get("events_per_s", 0.0),
+                stats.get("peak_rss_kb", 0) / 1024.0,
             )
         )
         for key in totals:
             totals[key] += stats.get(key, 0)
+        peak_rss_kb = max(peak_rss_kb, stats.get("peak_rss_kb", 0) or 0)
+        telemetry = stats.get("telemetry") or {}
+        for name, data in telemetry.get("spans", {}).items():
+            phase = phase_rollup.setdefault(
+                name, {"count": 0, "cum_s": 0.0, "self_s": 0.0}
+            )
+            phase["count"] += data["count"]
+            phase["cum_s"] += data["cum_s"]
+            phase["self_s"] += data["self_s"]
+    total_hit_rate = (
+        totals["cache_hits"] / totals["n_specs"] if totals["n_specs"] else 0.0
+    )
+    total_events_per_s = (
+        totals["events_processed"] / totals["busy_time_s"]
+        if totals["busy_time_s"]
+        else 0.0
+    )
     out(
-        "| total | %d | %d | %.2f | %d |"
+        "| total | %d | %d | %.0f%% | %.2f | %d | %.0f | %.1f |"
         % (
             totals["executed"],
             totals["cache_hits"],
+            100.0 * total_hit_rate,
             totals["wall_time_s"],
             totals["events_processed"],
+            total_events_per_s,
+            peak_rss_kb / 1024.0,
         )
     )
     out("")
     out("Workers: %d." % runner.workers)
     out("")
+    if phase_rollup:
+        out("Per-phase wall time (harness telemetry spans, all sweeps merged):")
+        out("")
+        out("| phase | count | self (s) | cumulative (s) |")
+        out("|---|---|---|---|")
+        for name in sorted(
+            phase_rollup, key=lambda k: phase_rollup[k]["self_s"], reverse=True
+        ):
+            data = phase_rollup[name]
+            out(
+                "| %s | %d | %.2f | %.2f |"
+                % (name, data["count"], data["self_s"], data["cum_s"])
+            )
+        out("")
 
     out("---")
     out("Generated by `repro.experiments.report.generate_report` (seed-deterministic).")

@@ -47,6 +47,7 @@ from ..trace.user_view import (
     inconsistency_vs_poll_interval,
     redirected_fractions,
 )
+from ..obs.telemetry import profiled
 from .result import FigureResult
 
 __all__ = [
@@ -132,6 +133,7 @@ class Fig3Result:
     cdf_points: Tuple[Tuple[float, float], ...]
 
 
+@profiled("driver.fig3")
 def fig3_inconsistency_cdf(ctx: Section3Context) -> FigureResult:
     lengths = ctx.inconsistency_lengths
     cdf = Cdf(lengths)
@@ -170,6 +172,7 @@ class Fig4Result:
     per_interval: Dict[float, PercentileSummary]          # (e)
 
 
+@profiled("driver.fig4")
 def fig4_user_perspective(
     ctx: Section3Context,
     intervals: Sequence[float] = (10.0, 20.0, 30.0, 40.0, 50.0, 60.0),
@@ -224,6 +227,7 @@ class Fig5Result:
     cdf_points: Tuple[Tuple[float, float], ...]
 
 
+@profiled("driver.fig5")
 def fig5_inner_cluster(
     ctx: Section3Context, min_cluster_size: int = 3
 ) -> FigureResult:
@@ -270,6 +274,7 @@ class Fig6Result:
     rmse_at_80: float
 
 
+@profiled("driver.fig6")
 def fig6_ttl_inference(ctx: Section3Context) -> FigureResult:
     lengths = ctx.inconsistency_lengths
     details = Fig6Result(
@@ -302,6 +307,7 @@ class Fig7Result:
     frac_above_50s: float
 
 
+@profiled("driver.fig7")
 def fig7_provider_inconsistency(ctx: Section3Context) -> FigureResult:
     sample = provider_inconsistency_sample(ctx.trace)
     cdf = Cdf(sample)
@@ -327,6 +333,7 @@ def fig7_provider_inconsistency(ctx: Section3Context) -> FigureResult:
 # ----------------------------------------------------------------------
 # Fig. 8
 # ----------------------------------------------------------------------
+@profiled("driver.fig8")
 def fig8_distance(ctx: Section3Context, band_km: float = 2000.0) -> FigureResult:
     """Distance vs consistency ratio (paper: r = 0.11, no real effect)."""
     details = consistency_vs_distance(ctx.trace, band_km=band_km)
@@ -355,6 +362,7 @@ class Fig9Result:
     max_increment_s: float
 
 
+@profiled("driver.fig9")
 def fig9_isp(ctx: Section3Context, min_cluster_size: int = 3) -> FigureResult:
     clusters = tuple(isp_inconsistency_analysis(ctx.trace, min_cluster_size))
     increments = tuple(c.increment_mean_s for c in clusters)
@@ -394,6 +402,7 @@ class Fig10Result:
     around_absence: Dict[Tuple[float, float], float]
 
 
+@profiled("driver.fig10")
 def fig10_absence(ctx: Section3Context) -> FigureResult:
     trace = ctx.trace
     responses = provider_response_times(trace)
@@ -431,6 +440,7 @@ class Fig11Result:
     mean_rank_churn: float
 
 
+@profiled("driver.fig11")
 def fig11_static_tree(
     ctx: Section3Context, min_cluster_size: int = 5
 ) -> FigureResult:
@@ -471,6 +481,7 @@ class Fig12Result:
     evidence: TreeEvidence
 
 
+@profiled("driver.fig12")
 def fig12_dynamic_tree(ctx: Section3Context) -> FigureResult:
     fractions = tuple(max_inconsistency_fractions(ctx.trace))
     details = Fig12Result(

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..metrics.stats import PercentileSummary, summarize
 from ..runner import Runner, RunSpec, run_specs
 from .config import TestbedConfig
+from ..obs.telemetry import profiled
 from .result import FigureResult
 from .testbed import DeploymentMetrics
 
@@ -97,6 +98,7 @@ def _compare(
     )
 
 
+@profiled("driver.fig14")
 def fig14_unicast_inconsistency(
     config: TestbedConfig, runner: Optional[Runner] = None
 ) -> FigureResult:
@@ -108,6 +110,7 @@ def fig14_unicast_inconsistency(
     return _compare("fig14", config, "unicast", runner=runner)
 
 
+@profiled("driver.fig15")
 def fig15_multicast_inconsistency(
     config: TestbedConfig, runner: Optional[Runner] = None
 ) -> FigureResult:
@@ -135,6 +138,7 @@ class TrafficCostResult:
         return self.cost(method, "unicast") - self.cost(method, "multicast")
 
 
+@profiled("driver.fig16")
 def fig16_traffic_cost(
     config: TestbedConfig,
     methods: Sequence[str] = CORE_METHODS,
@@ -170,6 +174,7 @@ def fig16_traffic_cost(
 # ----------------------------------------------------------------------
 # Fig. 17
 # ----------------------------------------------------------------------
+@profiled("driver.fig17")
 def fig17_cost_vs_ttl(
     config: TestbedConfig,
     ttls_s: Sequence[float] = (10.0, 20.0, 30.0, 40.0, 50.0, 60.0),
@@ -216,6 +221,7 @@ class Fig18Point:
     cost_km_kb: float
 
 
+@profiled("driver.fig18")
 def fig18_invalidation_user_ttl(
     config: TestbedConfig,
     user_ttls_s: Sequence[float] = (10.0, 30.0, 60.0, 90.0, 120.0),
@@ -263,6 +269,7 @@ def fig18_invalidation_user_ttl(
 # ----------------------------------------------------------------------
 # Fig. 19
 # ----------------------------------------------------------------------
+@profiled("driver.fig19")
 def fig19_packet_size(
     config: TestbedConfig,
     sizes_kb: Sequence[float] = (1.0, 100.0, 500.0),
@@ -314,6 +321,7 @@ def fig19_packet_size(
 # ----------------------------------------------------------------------
 # Fig. 20
 # ----------------------------------------------------------------------
+@profiled("driver.fig20")
 def fig20_network_size(
     config: TestbedConfig,
     n_servers: Sequence[int] = (170, 340, 510, 680, 850),

@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..runner import Runner, RunSpec, run_specs
 from .config import TestbedConfig
+from ..obs.telemetry import profiled
 from .result import FigureResult
 from .testbed import SYSTEMS
 
@@ -82,6 +83,7 @@ class Fig22aResult:
         )
 
 
+@profiled("driver.fig22a")
 def fig22a_update_messages(
     config: TestbedConfig,
     user_ttls_s: Sequence[float] = (10.0, 20.0, 30.0, 40.0, 50.0, 60.0),
@@ -110,6 +112,7 @@ def fig22a_update_messages(
 # ----------------------------------------------------------------------
 # Fig. 22b: provider load vs content-server TTL
 # ----------------------------------------------------------------------
+@profiled("driver.fig22b")
 def fig22b_provider_messages(
     config: TestbedConfig,
     server_ttls_s: Sequence[float] = (10.0, 20.0, 30.0, 40.0, 50.0, 60.0),
@@ -159,6 +162,7 @@ class Fig23Result:
         return min(self.update_load_km, key=self.total_load_km)
 
 
+@profiled("driver.fig23")
 def fig23_network_load(
     config: TestbedConfig,
     systems: Sequence[str] = SYSTEMS,
@@ -192,6 +196,7 @@ def fig23_network_load(
 # ----------------------------------------------------------------------
 # Fig. 24: user-observed inconsistency
 # ----------------------------------------------------------------------
+@profiled("driver.fig24")
 def fig24_inconsistency_observations(
     config: TestbedConfig,
     user_ttls_s: Sequence[float] = (10.0, 20.0, 30.0, 40.0, 50.0, 60.0),

@@ -40,6 +40,7 @@ from ..metrics.traffic import TrafficLedger
 from ..network.link import NetworkFabric
 from ..network.topology import Topology, TopologyBuilder
 from ..obs.counters import staleness_histogram
+from ..obs.telemetry import TELEMETRY, span
 from ..obs.tracer import Tracer
 from ..sim.engine import Environment
 from ..sim.rng import StreamRegistry
@@ -206,7 +207,8 @@ class Deployment:
         for user in self.users:
             user.start()
         self.env.run(until=horizon)
-        return self._collect(horizon)
+        with span("deployment.collect"):
+            return self._collect(horizon)
 
     def _all_nodes(self):
         yield self.provider.node
@@ -218,6 +220,15 @@ class Deployment:
     def _collect(self, horizon: float) -> DeploymentMetrics:
         ledger = self.fabric.ledger
         counters = self.fabric.counters
+        # Bridge the always-on fabric counters into harness telemetry as
+        # per-run totals (never per message: the hot path stays clean).
+        TELEMETRY.count("fabric.messages_sent", counters.messages_sent)
+        TELEMETRY.count("fabric.messages_delivered", counters.messages_delivered)
+        TELEMETRY.count("fabric.dropped_messages", counters.dropped_messages)
+        TELEMETRY.count("fabric.bytes_kb", counters.bytes_kb)
+        TELEMETRY.count(
+            "fabric.isp_crossing_messages", counters.isp_crossing_messages
+        )
         server_lags = {
             server.node.node_id: mean_update_lag(
                 self.content, server.apply_log(), censor_at=horizon
@@ -367,6 +378,16 @@ def build_deployment(
     name is.  Pass a :class:`~repro.obs.tracer.RecordingTracer` as
     *tracer* to capture structured events (outcomes are unaffected).
     """
+    with span("testbed.build"):
+        return _build_deployment(config, method, infrastructure, tracer)
+
+
+def _build_deployment(
+    config: TestbedConfig,
+    method: str,
+    infrastructure: str,
+    tracer: Optional[Tracer],
+) -> Deployment:
     method = resolve_method(method).name
     infrastructure = resolve_infrastructure(infrastructure).name
     env, streams, topology, fabric, content = _base(config, tracer=tracer)
@@ -408,34 +429,41 @@ def build_system(
         deployment.name = "self"
         return deployment
     if system in ("hybrid", "hat"):
-        env, streams, topology, fabric, content = _base(config, tracer=tracer)
-        hat = HatSystem(
-            env,
-            fabric,
-            streams,
-            content,
-            provider_node=topology.provider,
-            server_nodes=list(topology.servers),
-            config=HatConfig(
-                n_clusters=config.hat_clusters,
-                tree_arity=config.hat_arity,
-                server_ttl_s=config.server_ttl_s,
-                member_method="ttl" if system == "hybrid" else "self-adaptive",
-            ),
-        )
-        server_of_node = dict(hat.server_by_node_id)
-        users = _make_users(
-            config, env, streams, fabric, content, topology, server_of_node
-        )
-        return Deployment(
-            name=system,
-            config=config,
-            env=env,
-            streams=streams,
-            fabric=fabric,
-            content=content,
-            provider=hat.provider,
-            servers=hat.servers,
-            users=users,
-        )
+        with span("testbed.build"):
+            return _build_hat_system(config, system, tracer)
     raise ValueError("unknown system %r (expected one of %s)" % (system, SYSTEMS))
+
+
+def _build_hat_system(
+    config: TestbedConfig, system: str, tracer: Optional[Tracer]
+) -> Deployment:
+    env, streams, topology, fabric, content = _base(config, tracer=tracer)
+    hat = HatSystem(
+        env,
+        fabric,
+        streams,
+        content,
+        provider_node=topology.provider,
+        server_nodes=list(topology.servers),
+        config=HatConfig(
+            n_clusters=config.hat_clusters,
+            tree_arity=config.hat_arity,
+            server_ttl_s=config.server_ttl_s,
+            member_method="ttl" if system == "hybrid" else "self-adaptive",
+        ),
+    )
+    server_of_node = dict(hat.server_by_node_id)
+    users = _make_users(
+        config, env, streams, fabric, content, topology, server_of_node
+    )
+    return Deployment(
+        name=system,
+        config=config,
+        env=env,
+        streams=streams,
+        fabric=fabric,
+        content=content,
+        provider=hat.provider,
+        servers=hat.servers,
+        users=users,
+    )

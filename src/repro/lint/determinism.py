@@ -15,8 +15,10 @@ REP002: simulation code must never read wall-clock time
 (``time.time``/``perf_counter``/``monotonic``, ``datetime.now``, ...).
 Simulated time comes from ``env.now``; a wall-clock read either leaks
 into results (breaking run-to-run identity) or is dead measurement
-code.  Exemptions: ``repro/runner/`` (wall-time bookkeeping of real
-runs is its job) and ``benchmarks/`` (timing is the point).
+code.  Deliberate carve-outs (the runner's wall-time bookkeeping,
+benchmarks, harness telemetry) live in the
+:data:`repro.lint.exemptions.EXEMPTIONS` manifest, one reviewable
+table with a reason per entry.
 """
 
 from __future__ import annotations
@@ -24,6 +26,7 @@ from __future__ import annotations
 import ast
 from typing import Dict, Iterator, Set
 
+from .exemptions import is_exempt
 from .findings import Finding
 from .rules import FileRule
 
@@ -150,21 +153,18 @@ class SeededRngOnly(FileRule):
 
 
 class NoWallClock(FileRule):
-    """REP002 -- no wall-clock reads outside benchmarks/ and the runner."""
+    """REP002 -- no wall-clock reads outside the exemption manifest."""
 
     code = "REP002"
     name = "no-wall-clock"
     summary = (
-        "no time.time/perf_counter/datetime.now outside benchmarks/ "
-        "and repro/runner/ -- simulated time comes from env.now"
+        "no time.time/perf_counter/datetime.now outside the manifest "
+        "exemptions (runner, benchmarks, harness telemetry) -- "
+        "simulated time comes from env.now"
     )
 
     def _exempt(self, file) -> bool:
-        if file.in_package("runner"):
-            return True
-        return "benchmarks/" in file.display_path or file.display_path.startswith(
-            "benchmarks"
-        )
+        return is_exempt(self.code, file)
 
     def check(self, file) -> Iterator[Finding]:
         if self._exempt(file):

@@ -1,0 +1,60 @@
+"""Per-rule exemption manifest.
+
+Some code is *supposed* to break a rule: the runner keeps wall-clock
+books on real executions, benchmarks exist to time things, and harness
+telemetry (:mod:`repro.obs.telemetry`) is a profiler.  Rather than
+scattering hardcoded path checks through the rules (or blanketing files
+with ``# repro: noqa``), every deliberate carve-out lives here, in one
+reviewable table with a reason per entry.
+
+An entry matches a file when its prefix matches either the file's
+``package_path`` (rebased at ``repro/``, e.g. ``repro/obs/telemetry``)
+or its ``display_path`` (for trees outside the package, e.g.
+``benchmarks``).  Prefix matching means ``repro/obs/telemetry`` covers
+``repro/obs/telemetry.py`` and any future ``repro/obs/telemetry_*.py``
+split, per the scoping in ISSUE 5.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+__all__ = ["EXEMPTIONS", "is_exempt", "exemption_reason"]
+
+#: rule code -> (path prefix -> reason).  Keep reasons honest: they are
+#: the review record for why the rule does not apply.
+EXEMPTIONS: Dict[str, Dict[str, str]] = {
+    "REP002": {
+        "repro/runner/": (
+            "wall-time bookkeeping of real executions is the runner's job"
+        ),
+        "benchmarks": "timing is the point of a benchmark",
+        "repro/obs/telemetry": (
+            "harness telemetry profiles the harness itself; it reads "
+            "wall clocks by design and never feeds simulated outcomes"
+        ),
+    },
+}
+
+
+def _match(file, prefix: str) -> bool:
+    if file.package_path.startswith(prefix):
+        return True
+    return file.display_path.startswith(prefix) or ("/" + prefix) in file.display_path
+
+
+def _lookup(code: str, file) -> Tuple[str, str]:
+    for prefix, reason in EXEMPTIONS.get(code, {}).items():
+        if _match(file, prefix):
+            return prefix, reason
+    return "", ""
+
+
+def is_exempt(code: str, file) -> bool:
+    """``True`` when *file* is deliberately exempt from rule *code*."""
+    return bool(_lookup(code, file)[0])
+
+
+def exemption_reason(code: str, file) -> str:
+    """The manifest reason for the exemption ("" when not exempt)."""
+    return _lookup(code, file)[1]

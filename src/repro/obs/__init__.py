@@ -19,10 +19,22 @@ package gives the simulator the same per-event visibility:
 - :mod:`repro.obs.attribution` -- turns one deployment's counters into
   the per-layer cause-attribution table mirroring the paper's
   Figs. 6-10 breakdown.
+- :mod:`repro.obs.telemetry` -- *harness* telemetry (as opposed to the
+  simulated CDN): the process-wide :data:`TELEMETRY` metrics registry
+  (counters / gauges / histograms) and the ``span("phase")`` profiler,
+  rolled up across Runner workers into a ``telemetry.json`` artifact and
+  surfaced by ``repro metrics`` / ``repro profile``.
 """
 
 from .attribution import attribution_components, format_attribution_table
 from .counters import FabricCounters, staleness_histogram
+from .telemetry import (
+    TELEMETRY,
+    TELEMETRY_ENV,
+    MetricsRegistry,
+    profiled,
+    span,
+)
 from .tracer import (
     EVENT_KINDS,
     NULL_TRACER,
@@ -41,4 +53,9 @@ __all__ = [
     "staleness_histogram",
     "attribution_components",
     "format_attribution_table",
+    "TELEMETRY",
+    "TELEMETRY_ENV",
+    "MetricsRegistry",
+    "span",
+    "profiled",
 ]

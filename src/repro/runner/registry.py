@@ -32,6 +32,7 @@ import tempfile
 import time
 from typing import Dict, Optional
 
+from ..obs.telemetry import TELEMETRY, span
 from .spec import RunSpec
 
 __all__ = ["RunRegistry", "REGISTRY_ENV", "code_version"]
@@ -120,7 +121,8 @@ class RunRegistry:
         return None
 
     def _load(self) -> None:
-        runs = self._read_runs()
+        with span("registry.load"):
+            runs = self._read_runs()
         if runs is not None:
             self._runs = runs
 
@@ -137,7 +139,9 @@ class RunRegistry:
         """The cached :class:`DeploymentMetrics` for *spec*, or ``None``."""
         entry = self._runs.get(self._key(spec))
         if entry is None:
+            TELEMETRY.count("registry.cache_misses")
             return None
+        TELEMETRY.count("registry.cache_hits")
         from ..experiments.testbed import DeploymentMetrics
 
         return DeploymentMetrics.from_dict(entry["metrics"])
@@ -165,6 +169,10 @@ class RunRegistry:
         """
         if not self._dirty:
             return 0
+        with span("registry.save"):
+            return self._save_locked()
+
+    def _save_locked(self) -> int:
         merged = 0
         on_disk = self._read_runs()
         if on_disk:

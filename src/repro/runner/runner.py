@@ -5,9 +5,17 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from ..obs.telemetry import (
+    TELEMETRY,
+    append_run_entry,
+    default_artifact_path,
+    empty_snapshot,
+    merge_snapshots,
+    span,
+)
 from .registry import RunRegistry
 from .spec import RunSpec
 
@@ -67,6 +75,16 @@ class RunStats:
     #: Registry entries merged in from disk at save time (runs another
     #: concurrent process persisted between our load and our save).
     registry_merged: int = 0
+    #: Registry lookups that missed (== executed when a registry is
+    #: attached; 0 means every spec was a cache hit).
+    cache_misses: int = 0
+    #: Peak resident set size across the main process and every worker
+    #: that executed a deployment in this batch, in KiB (0 if unknown).
+    peak_rss_kb: int = 0
+    #: Harness-telemetry rollup for this batch (worker deltas merged
+    #: counter-sum / gauge-last / histogram bucket-wise); ``None`` when
+    #: telemetry is disabled via ``REPRO_TELEMETRY=0``.
+    telemetry: Optional[Dict[str, Any]] = field(default=None, repr=False)
 
     @property
     def worker_utilization(self) -> float:
@@ -76,11 +94,26 @@ class RunStats:
             return 0.0
         return min(1.0, self.busy_time_s / denominator)
 
+    @property
+    def registry_hit_rate(self) -> float:
+        """cache hits / specs (0.0 for an empty batch)."""
+        if self.n_specs <= 0:
+            return 0.0
+        return self.cache_hits / self.n_specs
+
+    @property
+    def events_per_s(self) -> float:
+        """Simulator events per second of busy time (0.0 if none)."""
+        if self.busy_time_s <= 0.0:
+            return 0.0
+        return self.events_processed / self.busy_time_s
+
     def to_dict(self) -> Dict:
         return {
             "n_specs": self.n_specs,
             "executed": self.executed,
             "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
             "workers": self.workers,
             "wall_time_s": self.wall_time_s,
             "busy_time_s": self.busy_time_s,
@@ -89,6 +122,10 @@ class RunStats:
             "dropped_messages": self.dropped_messages,
             "registry_merged": self.registry_merged,
             "worker_utilization": self.worker_utilization,
+            "registry_hit_rate": self.registry_hit_rate,
+            "events_per_s": self.events_per_s,
+            "peak_rss_kb": self.peak_rss_kb,
+            "telemetry": self.telemetry,
         }
 
     def summary(self) -> str:
@@ -138,10 +175,19 @@ class RunOutcome:
 
 
 def _execute_spec(spec: RunSpec):
-    """Top-level worker entry point (must be picklable for spawn)."""
+    """Top-level worker entry point (must be picklable for spawn).
+
+    Returns ``(metrics, elapsed_s, telemetry_delta)``.  The telemetry
+    delta covers exactly this execution -- fork-started workers inherit
+    the parent's telemetry state, so shipping a raw snapshot back would
+    double-count everything recorded before the fork.
+    """
+    before = TELEMETRY.snapshot()
     started = time.perf_counter()
-    metrics = spec.execute()
-    return metrics, time.perf_counter() - started
+    with span("spec.execute"):
+        metrics = spec.execute()
+    elapsed = time.perf_counter() - started
+    return metrics, elapsed, TELEMETRY.delta_since(before)
 
 
 class Runner:
@@ -196,50 +242,102 @@ class Runner:
         registry stores exact float round-trips.
         """
         specs = list(specs)
+        before = TELEMETRY.snapshot()
         started = time.perf_counter()
         metrics: List = [None] * len(specs)
 
         pending: List[Tuple[int, RunSpec]] = []
         cache_hits = 0
-        for index, spec in enumerate(specs):
-            cached = self.registry.get(spec) if self.registry is not None else None
-            if cached is not None:
-                metrics[index] = cached
-                cache_hits += 1
-            else:
-                pending.append((index, spec))
-
         busy = 0.0
         events = 0
         messages = 0
         dropped = 0
         merged = 0
-        if pending:
-            outputs = self._execute([spec for _, spec in pending])
-            for (index, spec), (result, elapsed) in zip(pending, outputs):
-                metrics[index] = result
-                busy += elapsed
-                events += result.events_processed
-                messages += result.update_messages + result.light_messages
-                dropped += getattr(result, "dropped_messages", 0)
+        worker_deltas: List[Dict[str, Any]] = []
+        pooled = False
+        with span("runner.run"):
+            TELEMETRY.gauge("runner.workers", self.workers)
+            for index, spec in enumerate(specs):
+                cached = (
+                    self.registry.get(spec) if self.registry is not None else None
+                )
+                if cached is not None:
+                    metrics[index] = cached
+                    cache_hits += 1
+                else:
+                    pending.append((index, spec))
+
+            if pending:
+                pooled = self.workers > 1 and len(pending) > 1
+                outputs = self._execute([spec for _, spec in pending])
+                for (index, spec), (result, elapsed, delta) in zip(
+                    pending, outputs
+                ):
+                    metrics[index] = result
+                    busy += elapsed
+                    events += result.events_processed
+                    messages += result.update_messages + result.light_messages
+                    dropped += getattr(result, "dropped_messages", 0)
+                    # Serial execution recorded into this process's
+                    # registry already; merging the delta again would
+                    # double-count, so worker deltas only count when the
+                    # pool actually ran them in another process.
+                    if pooled:
+                        worker_deltas.append(delta)
+                    if self.registry is not None:
+                        self.registry.put(spec, result, elapsed)
                 if self.registry is not None:
-                    self.registry.put(spec, result, elapsed)
-            if self.registry is not None:
-                merged = self.registry.save()
+                    merged = self.registry.save()
+        wall_time = time.perf_counter() - started
+
+        rollup: Optional[Dict[str, Any]] = None
+        if TELEMETRY.enabled:
+            rollup = merge_snapshots(empty_snapshot(), TELEMETRY.delta_since(before))
+            for delta in worker_deltas:
+                merge_snapshots(rollup, delta)
 
         stats = RunStats(
             n_specs=len(specs),
             executed=len(pending),
             cache_hits=cache_hits,
             workers=self.workers,
-            wall_time_s=time.perf_counter() - started,
+            wall_time_s=wall_time,
             busy_time_s=busy,
             events_processed=events,
             messages=messages,
             dropped_messages=dropped,
             registry_merged=merged,
+            cache_misses=len(pending) if self.registry is not None else 0,
+            peak_rss_kb=rollup["peak_rss_kb"] if rollup is not None else 0,
+            telemetry=rollup,
         )
+        if rollup is not None and self.registry is not None:
+            self._emit_telemetry_artifact(stats, rollup)
         return RunOutcome(specs=specs, metrics=metrics, stats=stats)
+
+    def _emit_telemetry_artifact(
+        self, stats: RunStats, rollup: Dict[str, Any]
+    ) -> None:
+        """Append this batch's rollup next to the run registry.
+
+        Telemetry is best-effort: an unwritable artifact path must not
+        fail the sweep that produced real results.
+        """
+        assert self.registry is not None
+        path = default_artifact_path(self.registry.path)
+        entry = {
+            "created_unix": time.time(),
+            "n_specs": stats.n_specs,
+            "executed": stats.executed,
+            "cache_hits": stats.cache_hits,
+            "workers": stats.workers,
+            "wall_time_s": stats.wall_time_s,
+            "rollup": rollup,
+        }
+        try:
+            append_run_entry(path, entry)
+        except OSError:  # pragma: no cover - disk-full / permissions
+            pass
 
     def _execute(self, specs: Sequence[RunSpec]) -> List:
         if self.workers > 1 and len(specs) > 1:

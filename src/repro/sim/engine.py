@@ -332,10 +332,16 @@ class Environment:
                 return until.value
             until.callbacks.append(StopSimulation.callback)
 
+        # Harness telemetry profiles the hot loop as one span and counts
+        # processed events once per run() call (never per event).
+        from ..obs.telemetry import TELEMETRY
+
+        events_before = self._events_processed
         step = self.step
         try:
-            while True:
-                step()
+            with TELEMETRY.span("engine.run"):
+                while True:
+                    step()
         except StopSimulation as stop:
             return stop.args[0]
         except EmptySchedule:
@@ -343,6 +349,10 @@ class Environment:
                 raise RuntimeError(
                     "no scheduled events left but \"until\" event was not triggered"
                 ) from None
+        finally:
+            TELEMETRY.count(
+                "engine.events", self._events_processed - events_before
+            )
         return None
 
     # ------------------------------------------------------------------

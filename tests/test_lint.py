@@ -286,6 +286,41 @@ class TestLiveTree(unittest.TestCase):
             self.assertEqual([f.code for f in report.new], ["REP002"])
 
 
+class TestRep002ExemptionManifest(unittest.TestCase):
+    """Satellite of PR 5: the REP002 carve-outs live in one manifest
+    (repro.lint.exemptions) scoped to repro/obs/telemetry*, and the
+    rule provably still fires everywhere else in repro/obs/."""
+
+    _CLOCK_READ = "import time\n\n\ndef stamp():\n    return time.perf_counter()\n"
+
+    def test_telemetry_module_is_exempt(self):
+        with _tempdir() as tmp:
+            obs = Path(tmp) / "repro" / "obs"
+            obs.mkdir(parents=True)
+            (obs / "telemetry.py").write_text(self._CLOCK_READ)
+            report = lint_paths([Path(tmp)], codes=["REP002"])
+            self.assertEqual([f.format() for f in report.new], [])
+
+    def test_rule_still_fires_elsewhere_in_obs(self):
+        with _tempdir() as tmp:
+            obs = Path(tmp) / "repro" / "obs"
+            obs.mkdir(parents=True)
+            (obs / "telemetry.py").write_text(self._CLOCK_READ)
+            (obs / "tracer_extra.py").write_text(self._CLOCK_READ)
+            report = lint_paths([Path(tmp)], codes=["REP002"])
+            self.assertEqual([f.code for f in report.new], ["REP002"])
+            self.assertTrue(report.new[0].path.endswith("tracer_extra.py"))
+
+    def test_manifest_entries_have_reasons(self):
+        from repro.lint.exemptions import EXEMPTIONS
+
+        self.assertIn("REP002", EXEMPTIONS)
+        self.assertIn("repro/obs/telemetry", EXEMPTIONS["REP002"])
+        for prefixes in EXEMPTIONS.values():
+            for prefix, reason in prefixes.items():
+                self.assertTrue(reason.strip(), "empty reason for %s" % prefix)
+
+
 class TestSimtimeHelpers(unittest.TestCase):
     def test_times_equal_within_eps(self):
         self.assertTrue(times_equal(1.0, 1.0 + TIME_EPS_S / 2))

@@ -541,3 +541,112 @@ class TestTraceCli:
 
         with pytest.raises(SystemExit):
             build_parser().parse_args(["trace", "--kind", "nonsense"])
+
+
+# ----------------------------------------------------------------------
+# RecordingTracer filter semantics (node / kind / time windows)
+# ----------------------------------------------------------------------
+class TestTracerFilters:
+    @staticmethod
+    def _tracer():
+        tracer = RecordingTracer()
+        tracer.emit(0.0, "msg_send", "a", kb=1.0)
+        tracer.emit(1.0, "msg_recv", "b", kb=1.0)
+        tracer.emit(1.0, "msg_send", "b", kb=2.0)
+        tracer.emit(2.5, "poll_round", "a", timed_out=False)
+        tracer.emit(4.0, "msg_send", "a", kb=3.0)
+        return tracer
+
+    def test_node_filter(self):
+        tracer = self._tracer()
+        assert [e.time for e in tracer.events(node="a")] == [0.0, 2.5, 4.0]
+        assert [e.kind for e in tracer.events(node="b")] == [
+            "msg_recv", "msg_send",
+        ]
+        assert tracer.events(node="missing") == []
+
+    def test_kind_filter_accepts_multiple_kinds(self):
+        tracer = self._tracer()
+        assert len(tracer.events(kinds=("msg_send",))) == 3
+        both = tracer.events(kinds=("msg_send", "msg_recv"))
+        assert [e.time for e in both] == [0.0, 1.0, 1.0, 4.0]
+
+    def test_since_inclusive_until_exclusive(self):
+        tracer = self._tracer()
+        # since is inclusive: the t=1.0 events are in.
+        assert [e.time for e in tracer.events(since=1.0)] == [1.0, 1.0, 2.5, 4.0]
+        # until is exclusive: the t=4.0 event is out.
+        assert [e.time for e in tracer.events(until=4.0)] == [0.0, 1.0, 1.0, 2.5]
+        # An event exactly at since and below until appears exactly once.
+        assert [e.time for e in tracer.events(since=2.5, until=4.0)] == [2.5]
+        assert tracer.events(since=2.6, until=2.7) == []
+
+    def test_filters_compose(self):
+        tracer = self._tracer()
+        hits = tracer.events(node="a", kinds=("msg_send",), since=1.0, until=5.0)
+        assert [(e.time, e.node) for e in hits] == [(4.0, "a")]
+        assert tracer.count("msg_send", node="a") == 2
+
+
+# ----------------------------------------------------------------------
+# FabricCounters reconciliation: fast-path vs legacy transport
+# ----------------------------------------------------------------------
+class TestTransportCounterReconciliation:
+    CONFIG = dict(
+        n_servers=6, users_per_server=1, n_updates=8,
+        game_duration_s=240.0, seed=7,
+    )
+
+    def _counters(self, legacy, method, infrastructure, monkeypatch):
+        monkeypatch.setenv(
+            "REPRO_LEGACY_TRANSPORT", "1" if legacy else "0"
+        )
+        deployment = build_deployment(
+            TestbedConfig(**self.CONFIG), method, infrastructure
+        )
+        assert deployment.fabric.legacy_transport is legacy
+        metrics = deployment.run()
+        return deployment.fabric.counters, metrics
+
+    @pytest.mark.parametrize("method", ["push", "ttl"])
+    @pytest.mark.parametrize("infrastructure", ["unicast", "multicast"])
+    def test_both_transports_post_identical_counters(
+        self, method, infrastructure, monkeypatch
+    ):
+        fast, fast_metrics = self._counters(
+            False, method, infrastructure, monkeypatch
+        )
+        legacy, legacy_metrics = self._counters(
+            True, method, infrastructure, monkeypatch
+        )
+        assert fast.to_dict() == legacy.to_dict()
+        assert fast.link_bytes_kb == legacy.link_bytes_kb
+        assert fast.dropped_messages == legacy.dropped_messages
+        # Counters reconcile with the metrics each transport reported.
+        for metrics in (fast_metrics, legacy_metrics):
+            assert metrics.dropped_messages == fast.dropped_messages
+            assert metrics.isp_crossing_messages == fast.isp_crossing_messages
+            assert metrics.propagation_s == pytest.approx(fast.propagation_s)
+            assert metrics.queueing_s == pytest.approx(fast.queueing_s)
+
+    def test_counters_match_under_failure_injection(self, monkeypatch):
+        # Drops (sender/receiver down) must attribute identically on
+        # both transports.
+        config = TestbedConfig(**self.CONFIG)
+        results = []
+        for legacy in (False, True):
+            monkeypatch.setenv(
+                "REPRO_LEGACY_TRANSPORT", "1" if legacy else "0"
+            )
+            deployment = build_deployment(config, "push")
+            schedule_absence(
+                deployment.env, deployment.servers[0].node,
+                start=30.0, duration=60.0,
+            )
+            deployment.run()
+            results.append(deployment.fabric.counters.to_dict())
+        assert results[0] == results[1]
+        assert (
+            results[0]["dropped_sender_down"]
+            + results[0]["dropped_receiver_down"]
+        ) > 0
