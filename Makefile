@@ -4,7 +4,8 @@
 PYTEST := PYTHONPATH=src python -m pytest
 
 .PHONY: smoke lint lint-compile lint-repro lint-ruff typecheck \
-	test bench bench-engine bench-section4 bench-all report trace-demo
+	test bench bench-engine bench-section4 bench-all report trace-demo \
+	scenario-smoke
 
 # Aggregate static-analysis gate.  lint-ruff and typecheck no-op with a
 # notice when ruff/mypy are not installed (offline containers); CI
@@ -36,6 +37,12 @@ smoke: lint
 
 test:
 	$(PYTEST) -q tests/
+
+# The scenario registry must enumerate and the paper-baseline scenario
+# must run end to end (CI runs the same two commands as a gate).
+scenario-smoke:
+	PYTHONPATH=src python -m repro scenario run paper-baseline --scale small
+	PYTHONPATH=src python -m repro scenario list --json
 
 # Benchmark trajectory: each run appends a timestamped entry to the
 # BENCH_engine.json / BENCH_section4.json histories at the repo root;

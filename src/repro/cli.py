@@ -1,10 +1,11 @@
 """Command-line interface.
 
-Nine subcommands mirroring the paper's workflow::
+Ten subcommands mirroring the paper's workflow::
 
     python -m repro measure    # Section 3: synthesize + analyse a crawl
     python -m repro evaluate   # Section 4: one method on one infrastructure
     python -m repro sweep      # a grid of deployments through the runner
+    python -m repro scenario   # list/describe/run/compare workload scenarios
     python -m repro advise     # guidance: recommend a method from rates
     python -m repro report     # regenerate the EXPERIMENTS.md report
     python -m repro trace      # run one traced deployment, dump JSONL events
@@ -171,8 +172,76 @@ def build_parser() -> argparse.ArgumentParser:
         "--server-ttls", nargs="+", type=float, default=None, metavar="SECONDS",
         help="sweep the content-server TTL over these values",
     )
+    sweep.add_argument(
+        "--scenarios", nargs="+", default=None, metavar="SCENARIO",
+        help="also sweep these workload scenarios (names or aliases from "
+        "'repro scenario list'); catalog scenarios expand into one run "
+        "per object cell",
+    )
     sweep.add_argument("--scale", choices=("smoke", "ci", "paper"), default="smoke")
     _add_runner_arguments(sweep)
+
+    scenario = sub.add_parser(
+        "scenario",
+        help="list, describe, run or compare workload scenarios "
+        "(workload + catalog + perturbations bundles)",
+    )
+    scenario_sub = scenario.add_subparsers(dest="scenario_command", required=True)
+    scn_list = scenario_sub.add_parser(
+        "list", help="list the registered scenarios"
+    )
+    scn_list.add_argument("--json", action="store_true", help="machine-readable")
+    scn_describe = scenario_sub.add_parser(
+        "describe", help="show one scenario's cells and perturbations"
+    )
+    scn_describe.add_argument("name", metavar="SCENARIO")
+    scn_describe.add_argument(
+        "--scale", choices=("smoke", "small", "ci", "paper"), default="smoke",
+        help="config scale the cells are expanded for (default: smoke; "
+        "'small' is an alias of smoke)",
+    )
+    scn_describe.add_argument("--json", action="store_true", help="machine-readable")
+    scn_run = scenario_sub.add_parser(
+        "run", help="run one scenario end to end and print its rollup"
+    )
+    scn_run.add_argument("name", metavar="SCENARIO")
+    scn_run.add_argument("--method", default="ttl", choices=method_choices())
+    scn_run.add_argument(
+        "--infrastructure", default="unicast", choices=infrastructure_choices()
+    )
+    scn_run.add_argument(
+        "--system", default=None,
+        choices=("push", "invalidation", "ttl", "self", "hybrid", "hat"),
+        help="run a full Section 5 system under the scenario instead of "
+        "a method x infrastructure cell",
+    )
+    scn_run.add_argument(
+        "--scale", choices=("smoke", "small", "ci", "paper"), default="smoke",
+        help="config scale (default: smoke; 'small' is an alias of smoke)",
+    )
+    scn_run.add_argument("--seed", type=int, default=0)
+    scn_run.add_argument("--json", action="store_true", help="machine-readable")
+    _add_runner_arguments(scn_run)
+    scn_compare = scenario_sub.add_parser(
+        "compare",
+        help="run several scenarios under one method and rank them "
+        "(Section-5-style cross-scenario figure)",
+    )
+    scn_compare.add_argument(
+        "names", nargs="*", metavar="SCENARIO",
+        help="scenarios to compare (default: every registered scenario)",
+    )
+    scn_compare.add_argument("--method", default="ttl", choices=method_choices())
+    scn_compare.add_argument(
+        "--infrastructure", default="unicast", choices=infrastructure_choices()
+    )
+    scn_compare.add_argument(
+        "--scale", choices=("smoke", "small", "ci", "paper"), default="smoke",
+        help="config scale (default: smoke; 'small' is an alias of smoke)",
+    )
+    scn_compare.add_argument("--seed", type=int, default=0)
+    scn_compare.add_argument("--json", action="store_true", help="machine-readable")
+    _add_runner_arguments(scn_compare)
 
     advise = sub.add_parser(
         "advise", help="recommend an update method from workload rates"
@@ -363,41 +432,61 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     base = {"smoke": smoke_scale, "ci": ci_scale, "paper": paper_scale}[args.scale]()
     ttls = args.server_ttls if args.server_ttls else [base.server_ttl_s]
 
+    # No --scenarios keeps the legacy spec shape (default scenario, not
+    # serialized), so existing registry entries still hit the cache.
+    scenario_cells = [{}]
+    if getattr(args, "scenarios", None):
+        from .scenarios import resolve_scenario
+
+        scenario_cells = []
+        for name in args.scenarios:
+            resolved = resolve_scenario(name)
+            for index in range(resolved.n_cells(base)):
+                scenario_cells.append(
+                    {"scenario": resolved.name, "scenario_cell": index}
+                )
+
     specs = []
     if args.systems:
         for system in args.systems:
             for ttl in ttls:
                 for seed in args.seeds:
-                    specs.append(
-                        RunSpec(
-                            config=base.with_overrides(server_ttl_s=ttl, seed=seed),
-                            method=system,
-                            kind="system",
-                        )
-                    )
-    else:
-        for method in args.methods:
-            for infrastructure in args.infrastructures:
-                for ttl in ttls:
-                    for seed in args.seeds:
+                    for extra in scenario_cells:
                         specs.append(
                             RunSpec(
                                 config=base.with_overrides(
                                     server_ttl_s=ttl, seed=seed
                                 ),
-                                method=method,
-                                infrastructure=infrastructure,
+                                method=system,
+                                kind="system",
+                                **extra,
                             )
                         )
+    else:
+        for method in args.methods:
+            for infrastructure in args.infrastructures:
+                for ttl in ttls:
+                    for seed in args.seeds:
+                        for extra in scenario_cells:
+                            specs.append(
+                                RunSpec(
+                                    config=base.with_overrides(
+                                        server_ttl_s=ttl, seed=seed
+                                    ),
+                                    method=method,
+                                    infrastructure=infrastructure,
+                                    **extra,
+                                )
+                            )
 
     runner = Runner(workers=args.workers, registry=args.registry)
     outcome = runner.run(specs)
 
     header = ("spec", "ttl_s", "server_lag_s", "user_lag_s", "cost_km_kb")
-    print("%-32s %8s %14s %12s %14s" % header)
+    print("%-48s %8s %14s %12s %14s" % header)
     for spec, metrics in outcome.pairs():
         print(
-            "%-32s %8g %14.3f %12.3f %14.4g"
+            "%-48s %8g %14.3f %12.3f %14.4g"
             % (
                 spec.label,
                 spec.config.server_ttl_s,
@@ -407,6 +496,180 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             )
         )
     print(outcome.stats.summary())
+    return 0
+
+
+def _scenario_scale_config(scale: str, seed: int):
+    """Config for a scenario CLI scale name ('small' aliases smoke)."""
+    from .experiments.config import ci_scale, paper_scale, smoke_scale
+
+    factory = {
+        "smoke": smoke_scale,
+        "small": smoke_scale,
+        "ci": ci_scale,
+        "paper": paper_scale,
+    }[scale]
+    return factory(seed=seed)
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    import json
+
+    from .scenarios import resolve_scenario, scenario_names
+    from .scenarios.registry import SCENARIO_REGISTRY
+
+    if args.scenario_command == "list":
+        rows = []
+        for name in scenario_names():
+            entry = SCENARIO_REGISTRY[name]
+            rows.append(
+                {
+                    "name": name,
+                    "aliases": list(entry.aliases),
+                    "tags": list(entry.tags),
+                    "summary": entry.summary,
+                }
+            )
+        if args.json:
+            json.dump(rows, sys.stdout, indent=2)
+            sys.stdout.write("\n")
+        else:
+            print("%-16s %-22s %s" % ("scenario", "aliases", "summary"))
+            for row in rows:
+                print(
+                    "%-16s %-22s %s"
+                    % (row["name"], ", ".join(row["aliases"]) or "-", row["summary"])
+                )
+        return 0
+
+    if args.scenario_command == "describe":
+        try:
+            resolved = resolve_scenario(args.name)
+        except ValueError as error:
+            raise SystemExit(str(error))
+        config = _scenario_scale_config(args.scale, seed=0)
+        description = resolved.describe(config)
+        if args.json:
+            json.dump(description, sys.stdout, indent=2)
+            sys.stdout.write("\n")
+        else:
+            print("%s: %s" % (description["name"], description["summary"]))
+            print("tags: %s" % (", ".join(description["tags"]) or "-"))
+            print("cells (%s scale): %d" % (args.scale, description["n_cells"]))
+            for cell in description["cells"]:
+                overrides = ", ".join(
+                    "%s=%s" % kv for kv in sorted(cell["config_overrides"].items())
+                )
+                perturbations = "; ".join(cell["perturbations"]) or "none"
+                print(
+                    "  [%d] %-14s weight=%.3f overrides={%s} perturbations: %s"
+                    % (
+                        cell["index"],
+                        cell["label"],
+                        cell["weight"],
+                        overrides,
+                        perturbations,
+                    )
+                )
+        return 0
+
+    from .runner import Runner
+
+    runner = Runner(workers=args.workers, registry=args.registry)
+    config = _scenario_scale_config(args.scale, seed=args.seed)
+
+    if args.scenario_command == "run":
+        from .scenarios import run_scenario
+
+        kind = "system" if args.system else "deployment"
+        method = args.system if args.system else args.method
+        try:
+            figure = run_scenario(
+                args.name,
+                config,
+                method=method,
+                infrastructure=args.infrastructure,
+                kind=kind,
+                runner=runner,
+            )
+        except ValueError as error:
+            raise SystemExit(str(error))
+        if args.json:
+            json.dump(figure.to_dict(), sys.stdout, indent=2, sort_keys=True)
+            sys.stdout.write("\n")
+            return 0
+        target = (
+            "system:%s" % method
+            if kind == "system"
+            else "%s/%s" % (method, args.infrastructure)
+        )
+        print("scenario: %s (%s)" % (figure.params["scenario"], target))
+        print(
+            "cells: %d; mean server lag %.3f s; mean user lag %.3f s; "
+            "stale fraction %.4f"
+            % (
+                figure.summary["n_cells"],
+                figure.summary["mean_server_lag"],
+                figure.summary["mean_user_lag"],
+                figure.summary["mean_stale_fraction"],
+            )
+        )
+        print(
+            "traffic: %.4g km*KB; %d update, %d light, %d dropped message(s)"
+            % (
+                figure.summary["cost_km_kb"],
+                figure.summary["update_messages"],
+                figure.summary["light_messages"],
+                figure.summary["dropped_messages"],
+            )
+        )
+        if figure.summary["node_downtime_s"]:
+            print("node downtime: %.1f s" % figure.summary["node_downtime_s"])
+        if figure.stats is not None:
+            print(figure.stats.summary())
+        return 0
+
+    # compare
+    from .scenarios import compare_scenarios
+
+    names = list(args.names) if args.names else list(scenario_names())
+    try:
+        figure = compare_scenarios(
+            names,
+            config,
+            method=args.method,
+            infrastructure=args.infrastructure,
+            runner=runner,
+        )
+    except ValueError as error:
+        raise SystemExit(str(error))
+    if args.json:
+        json.dump(figure.to_dict(), sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+        return 0
+    print(
+        "%-18s %6s %14s %12s %10s %14s"
+        % ("scenario", "cells", "server_lag_s", "user_lag_s", "stale", "cost_km_kb")
+    )
+    for name in figure.summary["user_lag_ordering"]:
+        rollup = figure.series[name]
+        print(
+            "%-18s %6d %14.3f %12.3f %10.4f %14.4g"
+            % (
+                name,
+                rollup["n_cells"],
+                rollup["mean_server_lag"],
+                rollup["mean_user_lag"],
+                rollup["mean_stale_fraction"],
+                rollup["cost_km_kb"],
+            )
+        )
+    print(
+        "best: %s; worst: %s (by mean user lag)"
+        % (figure.summary["best_scenario"], figure.summary["worst_scenario"])
+    )
+    if figure.stats is not None:
+        print(figure.stats.summary())
     return 0
 
 
@@ -588,6 +851,7 @@ _COMMANDS = {
     "measure": _cmd_measure,
     "evaluate": _cmd_evaluate,
     "sweep": _cmd_sweep,
+    "scenario": _cmd_scenario,
     "advise": _cmd_advise,
     "report": _cmd_report,
     "trace": _cmd_trace,

@@ -286,7 +286,32 @@ class Deployment:
 # ----------------------------------------------------------------------
 # shared construction pieces
 # ----------------------------------------------------------------------
-def _base(config: TestbedConfig, tracer: Optional[Tracer] = None):
+def _resolve_scenario_cell(config: TestbedConfig, scenario, scenario_cell: int):
+    """Resolve a scenario name (or instance) to its requested cell.
+
+    ``scenario=None`` keeps the legacy hard-wired path (bit-identical to
+    the ``paper-baseline`` scenario; the differential tests pin both).
+    The scenarios package is imported lazily: it imports the runner,
+    which imports this module.
+    """
+    if scenario is None:
+        if scenario_cell != 0:
+            raise ValueError(
+                "scenario_cell=%d requires an explicit scenario" % scenario_cell
+            )
+        return None, None
+    from ..scenarios.registry import resolve_scenario
+
+    resolved = resolve_scenario(scenario)
+    return resolved, resolved.cell(config, scenario_cell)
+
+
+def _base(config: TestbedConfig, tracer: Optional[Tracer] = None, cell=None):
+    """Build env/streams/topology/fabric/content, honouring the cell's
+    config overrides (applied *before* the topology is sized) and its
+    content factory.  Returns the effective config last."""
+    if cell is not None and cell.config_overrides:
+        config = config.with_overrides(**dict(cell.config_overrides))
     env = Environment(tracer=tracer)
     streams = StreamRegistry(config.seed)
     builder = TopologyBuilder(env, streams)
@@ -296,11 +321,17 @@ def _base(config: TestbedConfig, tracer: Optional[Tracer] = None):
         provider_city=config.provider_city,
     )
     fabric = NetworkFabric(env, ledger=TrafficLedger(), streams=streams)
-    content = _make_content(config, streams)
-    return env, streams, topology, fabric, content
+    if cell is not None:
+        content = cell.content_factory(config, streams)
+    else:
+        content = _make_content(config, streams)
+    return env, streams, topology, fabric, content, config
 
 
 def _make_content(config: TestbedConfig, streams: StreamRegistry) -> LiveContent:
+    """The legacy hard-wired content: the ``paper-baseline`` scenario's
+    ``content_from_workload`` replicates this recipe exactly (same
+    stream name, same parameters) -- change them together."""
     workload = LiveGameWorkload(
         n_updates=config.n_updates, duration_s=config.game_duration_s
     )
@@ -311,6 +342,37 @@ def _make_content(config: TestbedConfig, streams: StreamRegistry) -> LiveContent
         update_size_kb=config.update_size_kb,
         light_size_kb=config.light_size_kb,
     )
+
+
+def _scenario_name_suffix(resolved, config: TestbedConfig, cell) -> str:
+    """Deployment-name suffix for non-default scenarios (the baseline
+    keeps its legacy name so memoized metrics stay comparable)."""
+    if resolved is None:
+        return ""
+    from ..scenarios.registry import DEFAULT_SCENARIO
+
+    if resolved.name == DEFAULT_SCENARIO:
+        return ""
+    suffix = "@%s" % resolved.name
+    if resolved.n_cells(config) > 1:
+        suffix += "/%s" % cell.label
+    return suffix
+
+
+def _install_perturbations(deployment: "Deployment", cell) -> None:
+    """Install the cell's perturbations on the wired deployment.
+
+    The perturbation stream is only requested when there is something to
+    install, so perturbation-free scenarios consume exactly the streams
+    the legacy path did.
+    """
+    if cell is None or not cell.perturbations:
+        return
+    from ..scenarios.base import PERTURBATION_STREAM
+
+    stream = deployment.streams.stream(PERTURBATION_STREAM)
+    for perturbation in cell.perturbations:
+        perturbation.install(deployment, stream)
 
 
 def _make_policy(method: str, config: TestbedConfig, streams: StreamRegistry):
@@ -370,6 +432,8 @@ def build_deployment(
     method: str,
     infrastructure: str = "unicast",
     tracer: Optional[Tracer] = None,
+    scenario=None,
+    scenario_cell: int = 0,
 ) -> Deployment:
     """One Section 4 cell: *method* running on *infrastructure*.
 
@@ -377,9 +441,16 @@ def build_deployment(
     ("self", "inval", "tree", ...) are accepted anywhere a canonical
     name is.  Pass a :class:`~repro.obs.tracer.RecordingTracer` as
     *tracer* to capture structured events (outcomes are unaffected).
+
+    *scenario* (a :mod:`repro.scenarios` name, alias or instance)
+    selects the workload/catalog/perturbation bundle; *scenario_cell*
+    picks the catalog cell for multi-object scenarios.  ``None`` is the
+    legacy hard-wired path, bit-identical to ``"paper-baseline"``.
     """
     with span("testbed.build"):
-        return _build_deployment(config, method, infrastructure, tracer)
+        return _build_deployment(
+            config, method, infrastructure, tracer, scenario, scenario_cell
+        )
 
 
 def _build_deployment(
@@ -387,10 +458,15 @@ def _build_deployment(
     method: str,
     infrastructure: str,
     tracer: Optional[Tracer],
+    scenario=None,
+    scenario_cell: int = 0,
 ) -> Deployment:
     method = resolve_method(method).name
     infrastructure = resolve_infrastructure(infrastructure).name
-    env, streams, topology, fabric, content = _base(config, tracer=tracer)
+    resolved, cell = _resolve_scenario_cell(config, scenario, scenario_cell)
+    env, streams, topology, fabric, content, config = _base(
+        config, tracer=tracer, cell=cell
+    )
     provider = ProviderActor(env, topology.provider, fabric, content)
     servers = [
         ServerActor(
@@ -403,8 +479,9 @@ def _build_deployment(
     _wire_provider(provider, method)
     server_of_node = {server.node.node_id: server for server in servers}
     users = _make_users(config, env, streams, fabric, content, topology, server_of_node)
-    return Deployment(
-        name="%s/%s" % (method, infrastructure),
+    deployment = Deployment(
+        name="%s/%s%s"
+        % (method, infrastructure, _scenario_name_suffix(resolved, config, cell)),
         config=config,
         env=env,
         streams=streams,
@@ -414,30 +491,58 @@ def _build_deployment(
         servers=servers,
         users=users,
     )
+    _install_perturbations(deployment, cell)
+    return deployment
 
 
 def build_system(
-    config: TestbedConfig, system: str, tracer: Optional[Tracer] = None
+    config: TestbedConfig,
+    system: str,
+    tracer: Optional[Tracer] = None,
+    scenario=None,
+    scenario_cell: int = 0,
 ) -> Deployment:
-    """One Section 5 system (Figs. 22-24)."""
+    """One Section 5 system (Figs. 22-24); *scenario* as in
+    :func:`build_deployment`."""
     if system in ("push", "invalidation", "ttl"):
-        return build_deployment(config, system, "unicast", tracer=tracer)
+        return build_deployment(
+            config,
+            system,
+            "unicast",
+            tracer=tracer,
+            scenario=scenario,
+            scenario_cell=scenario_cell,
+        )
     if system == "self":
         deployment = build_deployment(
-            config, "self-adaptive", "unicast", tracer=tracer
+            config,
+            "self-adaptive",
+            "unicast",
+            tracer=tracer,
+            scenario=scenario,
+            scenario_cell=scenario_cell,
         )
-        deployment.name = "self"
+        # Rename but keep any scenario suffix ("@name" / "@name/cell").
+        _, sep, suffix = deployment.name.partition("@")
+        deployment.name = "self" + sep + suffix
         return deployment
     if system in ("hybrid", "hat"):
         with span("testbed.build"):
-            return _build_hat_system(config, system, tracer)
+            return _build_hat_system(config, system, tracer, scenario, scenario_cell)
     raise ValueError("unknown system %r (expected one of %s)" % (system, SYSTEMS))
 
 
 def _build_hat_system(
-    config: TestbedConfig, system: str, tracer: Optional[Tracer]
+    config: TestbedConfig,
+    system: str,
+    tracer: Optional[Tracer],
+    scenario=None,
+    scenario_cell: int = 0,
 ) -> Deployment:
-    env, streams, topology, fabric, content = _base(config, tracer=tracer)
+    resolved, cell = _resolve_scenario_cell(config, scenario, scenario_cell)
+    env, streams, topology, fabric, content, config = _base(
+        config, tracer=tracer, cell=cell
+    )
     hat = HatSystem(
         env,
         fabric,
@@ -456,8 +561,8 @@ def _build_hat_system(
     users = _make_users(
         config, env, streams, fabric, content, topology, server_of_node
     )
-    return Deployment(
-        name=system,
+    deployment = Deployment(
+        name=system + _scenario_name_suffix(resolved, config, cell),
         config=config,
         env=env,
         streams=streams,
@@ -467,3 +572,5 @@ def _build_hat_system(
         servers=hat.servers,
         users=users,
     )
+    _install_perturbations(deployment, cell)
+    return deployment

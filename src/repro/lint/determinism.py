@@ -1,9 +1,9 @@
 """REP001 / REP002 -- seeded randomness and wall-clock bans.
 
 REP001: inside the simulation packages (``sim/``, ``cdn/``,
-``consistency/``, ``network/``) every random draw must come from a
-seeded :class:`~repro.sim.rng.RandomStream` (or an explicitly seeded
-``random.Random`` instance).  Touching the *module-level* ``random``
+``consistency/``, ``network/``, ``scenarios/``) every random draw must
+come from a seeded :class:`~repro.sim.rng.RandomStream` (or an
+explicitly seeded ``random.Random`` instance).  Touching the *module-level* ``random``
 state -- ``random.random()``, ``from random import choice`` -- shares
 one hidden global stream, so adding any new draw silently perturbs
 every existing one and breaks bit-identical replay.  Constructing
@@ -33,7 +33,7 @@ from .rules import FileRule
 __all__ = ["SeededRngOnly", "NoWallClock"]
 
 #: Packages whose randomness must be stream-threaded (REP001).
-_RNG_SCOPED_AREAS = ("sim", "cdn", "consistency", "network")
+_RNG_SCOPED_AREAS = ("sim", "cdn", "consistency", "network", "scenarios")
 
 #: ``time`` module attributes that read the wall clock.
 _WALL_CLOCK_TIME_ATTRS = frozenset(

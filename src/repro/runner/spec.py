@@ -14,6 +14,11 @@ __all__ = ["RunSpec"]
 #: The two kinds of deployment the testbed can build.
 KINDS = ("deployment", "system")
 
+#: Kept in sync with ``repro.scenarios.DEFAULT_SCENARIO`` (asserted by
+#: the scenario test suite); a literal so this module never imports the
+#: scenarios package (which imports the runner).
+DEFAULT_SCENARIO = "paper-baseline"
+
 
 @dataclass(frozen=True)
 class RunSpec:
@@ -29,18 +34,39 @@ class RunSpec:
     Specs are frozen, hashable (by content hash) and JSON-round-trip
     exactly, so they can key the on-disk run registry and cross process
     boundaries.
+
+    ``scenario`` names the :mod:`repro.scenarios` entry that supplies
+    workload, catalog and perturbations; ``scenario_cell`` picks the
+    catalog cell (0 for single-object scenarios).  The default is the
+    paper's baseline, and default-valued specs serialize exactly as they
+    did before scenarios existed, so registry keys and stored specs from
+    older runs stay valid.
     """
 
     config: TestbedConfig
     method: str
     infrastructure: str = "unicast"
     kind: str = "deployment"
+    #: Scenario name (a registry key; must stay a plain string so the
+    #: spec is picklable and hashable -- ad-hoc Scenario objects can't
+    #: cross process boundaries).  Literal default mirrors
+    #: ``repro.scenarios.DEFAULT_SCENARIO`` (not imported here to keep
+    #: this module importable before the scenarios package).
+    scenario: str = DEFAULT_SCENARIO
+    scenario_cell: int = 0
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
             raise ValueError(
                 "kind must be one of %s, not %r" % (KINDS, self.kind)
             )
+        if not isinstance(self.scenario, str) or not self.scenario:
+            raise ValueError(
+                "scenario must be a registered scenario name, not %r"
+                % (self.scenario,)
+            )
+        if self.scenario_cell < 0:
+            raise ValueError("scenario_cell must be >= 0")
 
     # ------------------------------------------------------------------
     # identity / serialization
@@ -49,16 +75,29 @@ class RunSpec:
     def label(self) -> str:
         """Human-readable one-liner (``push/unicast seed=0``)."""
         if self.kind == "system":
-            return "system:%s seed=%d" % (self.method, self.config.seed)
-        return "%s/%s seed=%d" % (self.method, self.infrastructure, self.config.seed)
+            base = "system:%s seed=%d" % (self.method, self.config.seed)
+        else:
+            base = "%s/%s seed=%d" % (
+                self.method, self.infrastructure, self.config.seed
+            )
+        if self.scenario != DEFAULT_SCENARIO or self.scenario_cell != 0:
+            base += " scenario=%s[%d]" % (self.scenario, self.scenario_cell)
+        return base
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "kind": self.kind,
             "method": self.method,
             "infrastructure": self.infrastructure,
             "config": asdict(self.config),
         }
+        # Serialized only when non-default: default-valued specs keep
+        # the pre-scenario canonical form, so existing registry keys
+        # (and their memoized runs) stay valid.
+        if self.scenario != DEFAULT_SCENARIO or self.scenario_cell != 0:
+            data["scenario"] = self.scenario
+            data["scenario_cell"] = self.scenario_cell
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "RunSpec":
@@ -67,6 +106,8 @@ class RunSpec:
             method=data["method"],
             infrastructure=data.get("infrastructure", "unicast"),
             kind=data.get("kind", "deployment"),
+            scenario=data.get("scenario", DEFAULT_SCENARIO),
+            scenario_cell=data.get("scenario_cell", 0),
         )
 
     def key(self) -> str:
@@ -88,8 +129,19 @@ class RunSpec:
         from ..experiments.testbed import build_deployment, build_system
 
         if self.kind == "system":
-            return build_system(self.config, self.method)
-        return build_deployment(self.config, self.method, self.infrastructure)
+            return build_system(
+                self.config,
+                self.method,
+                scenario=self.scenario,
+                scenario_cell=self.scenario_cell,
+            )
+        return build_deployment(
+            self.config,
+            self.method,
+            self.infrastructure,
+            scenario=self.scenario,
+            scenario_cell=self.scenario_cell,
+        )
 
     def execute(self):
         """Build and run to the config's horizon; returns the metrics."""

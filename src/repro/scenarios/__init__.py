@@ -1,0 +1,64 @@
+"""Pluggable workload scenarios for the consistency testbed.
+
+A :class:`Scenario` bundles what the legacy testbed hard-wired: the
+arrival workload, the content catalog and a schedule of mid-run
+perturbations.  Scenarios resolve by name through a registry shaped
+like :mod:`repro.consistency.registry`, expand into per-object
+:class:`ScenarioCell` deployments, and run through the standard
+:class:`~repro.runner.Runner` machinery (see :mod:`repro.scenarios.run`).
+"""
+
+from .base import (
+    PERTURBATION_STREAM,
+    UPDATE_STREAM,
+    Scenario,
+    ScenarioCell,
+    SingleObjectScenario,
+    content_from_workload,
+)
+from .catalog import CatalogScenario, CatalogSpec, zipf_weights
+from .perturbations import (
+    DiurnalModulation,
+    FailureStorm,
+    FlashCrowd,
+    Perturbation,
+    Reconfiguration,
+)
+from .registry import (
+    DEFAULT_SCENARIO,
+    SCENARIO_REGISTRY,
+    ScenarioEntry,
+    register_scenario,
+    resolve_scenario,
+    scenario_choices,
+    scenario_names,
+)
+from .run import ScenarioOutcome, compare_scenarios, run_scenario, scenario_specs
+
+__all__ = [
+    "PERTURBATION_STREAM",
+    "UPDATE_STREAM",
+    "Scenario",
+    "ScenarioCell",
+    "SingleObjectScenario",
+    "content_from_workload",
+    "CatalogScenario",
+    "CatalogSpec",
+    "zipf_weights",
+    "Perturbation",
+    "FlashCrowd",
+    "DiurnalModulation",
+    "FailureStorm",
+    "Reconfiguration",
+    "DEFAULT_SCENARIO",
+    "SCENARIO_REGISTRY",
+    "ScenarioEntry",
+    "register_scenario",
+    "resolve_scenario",
+    "scenario_choices",
+    "scenario_names",
+    "ScenarioOutcome",
+    "scenario_specs",
+    "run_scenario",
+    "compare_scenarios",
+]

@@ -1,0 +1,216 @@
+"""The Scenario protocol: workload + catalog + perturbations as one unit.
+
+A :class:`Scenario` describes *everything about the simulated world that
+is not a method or an infrastructure*: the update workload, the content
+catalog it drives (one object for the paper's trace, many for
+Zipf-popularity catalogs), and a schedule of mid-run perturbations
+(flash crowds, diurnal load, failure storms, CDN reconfigurations).
+
+A scenario expands, for a given :class:`TestbedConfig`, into one or
+more :class:`ScenarioCell`\\ s.  Each cell is a single-object deployment
+the existing testbed knows how to build and the existing
+:class:`~repro.runner.Runner` knows how to execute, cache and
+parallelise: the cell supplies the content object, per-cell config
+overrides (e.g. the popularity-weighted share of the user population)
+and the perturbations to install before the run starts.  Multi-object
+catalogs are therefore *sharded by object*: each object simulates on
+its own copy of the topology and the rollup re-weights the cells by
+popularity (documented trade-off: objects do not contend for link
+bandwidth across cells).
+
+The ``paper-baseline`` scenario reproduces today's hard-wired
+:class:`~repro.trace.workload.LiveGameWorkload` + single
+:class:`~repro.cdn.content.LiveContent` path bit-identically: same
+stream name, same workload parameters, no perturbations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+)
+
+from ..cdn.content import LiveContent
+from ..sim.rng import StreamRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..experiments.config import TestbedConfig
+    from .perturbations import Perturbation
+
+__all__ = [
+    "UPDATE_STREAM",
+    "PERTURBATION_STREAM",
+    "ContentFactory",
+    "ScenarioCell",
+    "Scenario",
+    "SingleObjectScenario",
+    "content_from_workload",
+]
+
+#: Stream name the update schedule draws from.  This is the stream the
+#: pre-scenario testbed used, so ``paper-baseline`` consumes randomness
+#: identically to the legacy hard-wired path.
+UPDATE_STREAM = "testbed.updates"
+
+#: Stream name perturbations draw their build-time decisions from
+#: (storm victims, migration plans).  Distinct from :data:`UPDATE_STREAM`
+#: so installing a perturbation never perturbs the update schedule.
+PERTURBATION_STREAM = "scenario.perturb"
+
+#: Builds the cell's content object from the (already cell-adjusted)
+#: config and the run's stream registry.
+ContentFactory = Callable[["TestbedConfig", StreamRegistry], LiveContent]
+
+
+@dataclass(frozen=True)
+class ScenarioCell:
+    """One runnable shard of a scenario (a single-object deployment).
+
+    ``config_overrides`` are applied to the :class:`TestbedConfig`
+    *before* the topology is built (so a cell can scale its user
+    population to the object's popularity); ``weight`` is the cell's
+    share in cross-cell rollups.
+    """
+
+    index: int
+    label: str
+    content_factory: ContentFactory
+    weight: float = 1.0
+    config_overrides: Mapping[str, Any] = field(default_factory=dict)
+    perturbations: Tuple["Perturbation", ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError("cell index must be >= 0")
+        if not self.weight > 0:
+            raise ValueError("cell weight must be positive")
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-safe summary (CLI ``scenario describe``)."""
+        return {
+            "index": self.index,
+            "label": self.label,
+            "weight": self.weight,
+            "config_overrides": dict(self.config_overrides),
+            "perturbations": [p.describe() for p in self.perturbations],
+        }
+
+
+class Scenario:
+    """Base class of every registered scenario.
+
+    Subclasses define how many cells a config expands into and how to
+    build each cell.  Scenarios are stateless: ``cell(config, i)`` must
+    be a pure function of its arguments, because workers rebuild cells
+    from ``(scenario name, cell index, config)`` when a
+    :class:`~repro.runner.RunSpec` crosses a process boundary.
+    """
+
+    name: str = "base"
+    summary: str = ""
+    tags: Tuple[str, ...] = ()
+
+    def n_cells(self, config: "TestbedConfig") -> int:
+        return 1
+
+    def cell(self, config: "TestbedConfig", index: int) -> ScenarioCell:
+        raise NotImplementedError
+
+    def cells(self, config: "TestbedConfig") -> List[ScenarioCell]:
+        return [self.cell(config, i) for i in range(self.n_cells(config))]
+
+    def describe(self, config: Optional["TestbedConfig"] = None) -> Dict[str, Any]:
+        """JSON-safe description; cells are included when *config* given
+        (cell expansion depends on the config's scale)."""
+        data: Dict[str, Any] = {
+            "name": self.name,
+            "summary": self.summary,
+            "tags": list(self.tags),
+        }
+        if config is not None:
+            expanded = self.cells(config)
+            data["n_cells"] = len(expanded)
+            data["cells"] = [cell.describe() for cell in expanded]
+        return data
+
+
+def content_from_workload(
+    content_id: str,
+    workload: Any,
+    config: "TestbedConfig",
+    streams: StreamRegistry,
+) -> LiveContent:
+    """Turn a workload's update times into a :class:`LiveContent`.
+
+    Exactly the legacy testbed recipe: generate on :data:`UPDATE_STREAM`
+    and shift by ``config.update_start_s``.
+    """
+    times = workload.generate(streams.stream(UPDATE_STREAM))
+    return LiveContent(
+        content_id,
+        update_times=[config.update_start_s + t for t in times],
+        update_size_kb=config.update_size_kb,
+        light_size_kb=config.light_size_kb,
+    )
+
+
+class SingleObjectScenario(Scenario):
+    """A one-object scenario: a workload factory plus perturbations.
+
+    ``workload_factory(config)`` returns any object with a
+    ``generate(stream) -> List[float]`` method (the classes in
+    :mod:`repro.trace.workload` are the building blocks);
+    ``perturbation_factory(config)`` returns the perturbations to
+    install, already resolved to absolute simulation times.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        summary: str,
+        workload_factory: Callable[["TestbedConfig"], Any],
+        perturbation_factory: Optional[
+            Callable[["TestbedConfig"], Tuple["Perturbation", ...]]
+        ] = None,
+        content_id: str = "live-game",
+        tags: Tuple[str, ...] = (),
+    ) -> None:
+        self.name = name
+        self.summary = summary
+        self.tags = tuple(tags)
+        self._workload_factory = workload_factory
+        self._perturbation_factory = perturbation_factory
+        self._content_id = content_id
+
+    def workload(self, config: "TestbedConfig") -> Any:
+        return self._workload_factory(config)
+
+    def cell(self, config: "TestbedConfig", index: int) -> ScenarioCell:
+        if index != 0:
+            raise IndexError(
+                "scenario %r has a single cell, not cell %d" % (self.name, index)
+            )
+        content_id = self._content_id
+
+        def factory(cfg: "TestbedConfig", streams: StreamRegistry) -> LiveContent:
+            return content_from_workload(
+                content_id, self._workload_factory(cfg), cfg, streams
+            )
+
+        perturbations: Tuple["Perturbation", ...] = ()
+        if self._perturbation_factory is not None:
+            perturbations = tuple(self._perturbation_factory(config))
+        return ScenarioCell(
+            index=0,
+            label=self.name,
+            content_factory=factory,
+            perturbations=perturbations,
+        )

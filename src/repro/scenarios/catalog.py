@@ -1,0 +1,187 @@
+"""Multi-object content catalogs with Zipf popularity and churn.
+
+The paper evaluates one content object; real CDNs serve catalogs whose
+request popularity is Zipf-distributed and whose membership churns (the
+nherbaut vCDN simulator drives exactly this shape: Zipf catalogs with
+Poisson arrivals over a CDN hierarchy).  A :class:`CatalogScenario`
+expands into one :class:`~repro.scenarios.base.ScenarioCell` per
+object:
+
+- object *i* carries Zipf weight ``w_i`` (exponent ``exponent``);
+- its update volume scales with popularity
+  (``~ n_updates * updates_scale * w_i``, floor 1);
+- its audience scales with popularity: the cell's ``users_per_server``
+  is ``~ users_per_server * n_objects * w_i`` (floor 1), so the total
+  simulated audience across the catalog matches one baseline audience
+  per object on average;
+- churn staggers object lifetimes: object *i* is born at
+  ``churn_stagger * duration * i / n`` and updates only during its
+  ``lifetime_fraction`` window, after which it goes cold (users keep
+  polling a frozen object -- the consistency-relevant half of churn).
+
+Each object's update schedule draws from its own named stream
+(``scenario.catalog.obj-XX``), so cells are independent of each other:
+caching or re-running one cell can never perturb another.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
+
+from ..cdn.content import LiveContent
+from ..sim.rng import RandomStream, StreamRegistry
+from .base import Scenario, ScenarioCell
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..experiments.config import TestbedConfig
+    from .perturbations import Perturbation
+
+__all__ = ["CatalogSpec", "CatalogScenario", "zipf_weights"]
+
+
+def zipf_weights(n: int, exponent: float) -> Tuple[float, ...]:
+    """Normalised Zipf weights: ``w_i ~ 1 / (i + 1) ** exponent``."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if exponent < 0:
+        raise ValueError("exponent must be >= 0")
+    raw = [1.0 / float(i + 1) ** exponent for i in range(n)]
+    total = sum(raw)
+    return tuple(w / total for w in raw)
+
+
+@dataclass(frozen=True, kw_only=True)
+class CatalogSpec:
+    """Shape of a Zipf catalog (all knobs relative to the config scale)."""
+
+    n_objects: int = 6
+    #: Zipf popularity exponent (0 = uniform popularity).
+    exponent: float = 0.9
+    #: Fraction of the workload duration over which births stagger.
+    churn_stagger: float = 0.5
+    #: Object lifetime as a fraction of the workload duration.
+    lifetime_fraction: float = 0.6
+    #: Multiplier on ``config.n_updates`` for the whole catalog's volume.
+    updates_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n_objects <= 0:
+            raise ValueError("n_objects must be positive")
+        if self.exponent < 0:
+            raise ValueError("exponent must be >= 0")
+        if not 0.0 <= self.churn_stagger < 1.0:
+            raise ValueError("churn_stagger must be in [0, 1)")
+        if not 0.0 < self.lifetime_fraction <= 1.0:
+            raise ValueError("lifetime_fraction must be in (0, 1]")
+        if self.updates_scale <= 0:
+            raise ValueError("updates_scale must be positive")
+
+
+def _object_times(
+    n_updates: int, start: float, end: float, stream: RandomStream
+) -> List[float]:
+    """Exactly ``n_updates`` jittered, sorted times in ``[start, end)``.
+
+    Same exact-count recipe as
+    :class:`~repro.trace.workload.LiveGameWorkload`: uniform slots with
+    multiplicative jitter, so the volume is deterministic while the
+    schedule stays irregular.
+    """
+    span = end - start
+    slot = span / n_updates
+    times = []
+    for index in range(n_updates):
+        base = (index + 0.5) * slot
+        offset = stream.uniform(-0.45, 0.45) * slot
+        times.append(start + min(span - 1e-9, max(0.0, base + offset)))
+    times.sort()
+    return times
+
+
+class CatalogScenario(Scenario):
+    """A Zipf-popularity multi-object catalog with churn (see module doc)."""
+
+    def __init__(
+        self,
+        name: str,
+        summary: str,
+        spec: Optional[CatalogSpec] = None,
+        perturbation_factory: Optional[
+            Callable[["TestbedConfig"], Tuple["Perturbation", ...]]
+        ] = None,
+        tags: Tuple[str, ...] = (),
+    ) -> None:
+        self.name = name
+        self.summary = summary
+        self.tags = tuple(tags)
+        self.spec = spec if spec is not None else CatalogSpec()
+        self._perturbation_factory = perturbation_factory
+
+    # ------------------------------------------------------------------
+    def n_cells(self, config: "TestbedConfig") -> int:
+        return self.spec.n_objects
+
+    def weights(self) -> Tuple[float, ...]:
+        return zipf_weights(self.spec.n_objects, self.spec.exponent)
+
+    def lifetime(self, config: "TestbedConfig", index: int) -> Tuple[float, float]:
+        """The ``(birth_s, retirement_s)`` window of object *index*
+        (relative to the workload start)."""
+        duration = config.game_duration_s
+        birth = self.spec.churn_stagger * duration * index / self.spec.n_objects
+        retirement = min(duration, birth + self.spec.lifetime_fraction * duration)
+        return birth, retirement
+
+    def cell(self, config: "TestbedConfig", index: int) -> ScenarioCell:
+        if not 0 <= index < self.spec.n_objects:
+            raise IndexError(
+                "scenario %r has %d cells, not cell %d"
+                % (self.name, self.spec.n_objects, index)
+            )
+        weight = self.weights()[index]
+        label = "obj-%02d" % index
+        birth, retirement = self.lifetime(config, index)
+        n_updates = max(
+            1, round(config.n_updates * self.spec.updates_scale * weight)
+        )
+        audience = 0
+        if config.users_per_server > 0:
+            audience = max(
+                1, round(config.users_per_server * self.spec.n_objects * weight)
+            )
+        stream_name = "scenario.catalog.%s" % label
+
+        def factory(cfg: "TestbedConfig", streams: StreamRegistry) -> LiveContent:
+            times = _object_times(
+                n_updates, birth, retirement, streams.stream(stream_name)
+            )
+            return LiveContent(
+                "catalog-%s" % label,
+                update_times=[cfg.update_start_s + t for t in times],
+                update_size_kb=cfg.update_size_kb,
+                light_size_kb=cfg.light_size_kb,
+            )
+
+        perturbations: Tuple["Perturbation", ...] = ()
+        if self._perturbation_factory is not None:
+            perturbations = tuple(self._perturbation_factory(config))
+        return ScenarioCell(
+            index=index,
+            label=label,
+            content_factory=factory,
+            weight=weight,
+            config_overrides={"users_per_server": audience},
+            perturbations=perturbations,
+        )
+
+    def describe(self, config: Optional["TestbedConfig"] = None) -> Dict[str, Any]:
+        data = super().describe(config)
+        data["catalog"] = {
+            "n_objects": self.spec.n_objects,
+            "exponent": self.spec.exponent,
+            "churn_stagger": self.spec.churn_stagger,
+            "lifetime_fraction": self.spec.lifetime_fraction,
+            "updates_scale": self.spec.updates_scale,
+        }
+        return data

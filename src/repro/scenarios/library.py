@@ -1,0 +1,298 @@
+"""The built-in scenario library (8 registered scenarios).
+
+Every scenario derives its absolute times from the config it is asked
+to expand for (fractions of ``game_duration_s``), so the same scenario
+runs at smoke, CI and paper scale without re-tuning.  ``paper-baseline``
+is special: it must reproduce the legacy hard-wired testbed bit for bit
+(same workload parameters, same RNG stream, no perturbations) -- the
+differential test in ``tests/test_scenarios.py`` pins this.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Tuple
+
+from ..trace.workload import (
+    AuctionWorkload,
+    FlashSaleWorkload,
+    LiveGameWorkload,
+    PoissonWorkload,
+)
+from .base import SingleObjectScenario
+from .catalog import CatalogScenario, CatalogSpec
+from .perturbations import (
+    DiurnalModulation,
+    FailureStorm,
+    FlashCrowd,
+    Perturbation,
+    Reconfiguration,
+)
+from .registry import ScenarioEntry, register_scenario
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..experiments.config import TestbedConfig
+
+__all__ = ["BUILTIN_SCENARIOS"]
+
+
+def _live_game(config: "TestbedConfig") -> LiveGameWorkload:
+    """The legacy testbed workload, parameterised exactly as before."""
+    return LiveGameWorkload(
+        n_updates=config.n_updates, duration_s=config.game_duration_s
+    )
+
+
+# ----------------------------------------------------------------------
+# scenario factories (one per registry entry)
+# ----------------------------------------------------------------------
+def _paper_baseline() -> SingleObjectScenario:
+    return SingleObjectScenario(
+        name="paper-baseline",
+        summary="The paper's testbed: one live-game trace, no perturbations "
+        "(bit-identical to the pre-scenario hard-wired path).",
+        workload_factory=_live_game,
+        tags=("baseline", "single-object"),
+    )
+
+
+def _flash_crowd() -> SingleObjectScenario:
+    def perturbations(config: "TestbedConfig") -> Tuple[Perturbation, ...]:
+        duration = config.game_duration_s
+        return (
+            FlashCrowd(
+                start_s=config.update_start_s + 0.45 * duration,
+                duration_s=0.2 * duration,
+                poll_accel=4.0,
+            ),
+        )
+
+    return SingleObjectScenario(
+        name="flash-crowd",
+        summary="Live game plus a mid-game flash crowd: every user polls "
+        "4x faster for a fifth of the game.",
+        workload_factory=_live_game,
+        perturbation_factory=perturbations,
+        tags=("single-object", "load-surge"),
+    )
+
+
+def _diurnal() -> SingleObjectScenario:
+    def workload(config: "TestbedConfig") -> PoissonWorkload:
+        return PoissonWorkload(
+            rate_per_s=config.n_updates / config.game_duration_s,
+            duration_s=config.game_duration_s,
+        )
+
+    def perturbations(config: "TestbedConfig") -> Tuple[Perturbation, ...]:
+        duration = config.game_duration_s
+        return (
+            DiurnalModulation(
+                period_s=duration / 2.0,
+                step_s=duration / 40.0,
+                amplitude=0.6,
+            ),
+        )
+
+    return SingleObjectScenario(
+        name="diurnal",
+        summary="Memoryless Poisson updates with day/night polling cadence: "
+        "user visit rates swing sinusoidally by +/-60%.",
+        workload_factory=workload,
+        perturbation_factory=perturbations,
+        content_id="diurnal-feed",
+        tags=("single-object", "load-shape"),
+    )
+
+
+def _failure_storm() -> SingleObjectScenario:
+    def perturbations(config: "TestbedConfig") -> Tuple[Perturbation, ...]:
+        duration = config.game_duration_s
+        start = config.update_start_s
+        return (
+            FailureStorm(
+                storms=(
+                    (start + 0.3 * duration, 0.08 * duration),
+                    (start + 0.7 * duration, 0.08 * duration),
+                ),
+                fraction=0.25,
+            ),
+        )
+
+    return SingleObjectScenario(
+        name="failure-storm",
+        summary="Live game plus two correlated failure storms: a quarter of "
+        "the servers (one contiguous block each time) goes dark mid-run.",
+        workload_factory=_live_game,
+        perturbation_factory=perturbations,
+        tags=("single-object", "failures"),
+    )
+
+
+def _cdn_reconfig() -> SingleObjectScenario:
+    def perturbations(config: "TestbedConfig") -> Tuple[Perturbation, ...]:
+        duration = config.game_duration_s
+        start = config.update_start_s
+        return (
+            Reconfiguration(
+                event_times_s=(
+                    start + duration / 3.0,
+                    start + 2.0 * duration / 3.0,
+                ),
+                migrate_fraction=0.5,
+            ),
+        )
+
+    return SingleObjectScenario(
+        name="cdn-reconfig",
+        summary="Live game plus two cache-cluster migrations (YouLighter): "
+        "half the users are re-homed to different edge servers mid-run.",
+        workload_factory=_live_game,
+        perturbation_factory=perturbations,
+        tags=("single-object", "reconfiguration"),
+    )
+
+
+def _zipf_catalog() -> CatalogScenario:
+    return CatalogScenario(
+        name="zipf-catalog",
+        summary="Six-object Zipf(0.9) catalog with churn: staggered object "
+        "births, popularity-scaled update volume and audiences.",
+        spec=CatalogSpec(),
+        tags=("catalog", "churn"),
+    )
+
+
+def _flash_sale() -> SingleObjectScenario:
+    def workload(config: "TestbedConfig") -> FlashSaleWorkload:
+        duration = config.game_duration_s
+        sale_duration = 0.125 * duration
+        multiplier = 20.0
+        # Base rate chosen so the expected total update volume matches
+        # config.n_updates: duration + (multiplier - 1) * sale_duration
+        # effective seconds at the base rate.
+        base_rate = config.n_updates / (
+            duration + (multiplier - 1.0) * sale_duration
+        )
+        return FlashSaleWorkload(
+            duration_s=duration,
+            sale_start_s=0.5 * duration,
+            sale_duration_s=sale_duration,
+            base_rate_per_s=base_rate,
+            sale_rate_multiplier=multiplier,
+        )
+
+    def perturbations(config: "TestbedConfig") -> Tuple[Perturbation, ...]:
+        duration = config.game_duration_s
+        return (
+            FlashCrowd(
+                start_s=config.update_start_s + 0.5 * duration,
+                duration_s=0.125 * duration,
+                poll_accel=5.0,
+            ),
+        )
+
+    return SingleObjectScenario(
+        name="flash-sale",
+        summary="E-commerce inventory: 20x update rate during the sale "
+        "window while shoppers refresh 5x faster.",
+        workload_factory=workload,
+        perturbation_factory=perturbations,
+        content_id="flash-sale",
+        tags=("single-object", "load-surge"),
+    )
+
+
+def _auction_sniping() -> SingleObjectScenario:
+    def workload(config: "TestbedConfig") -> AuctionWorkload:
+        duration = config.game_duration_s
+        # Linear ramp whose integral matches config.n_updates in
+        # expectation: (base + closing) / 2 * duration == n_updates.
+        base_rate = 0.4 * config.n_updates / duration
+        closing_rate = 1.6 * config.n_updates / duration
+        return AuctionWorkload(
+            duration_s=duration,
+            base_rate_per_s=base_rate,
+            closing_rate_per_s=closing_rate,
+        )
+
+    def perturbations(config: "TestbedConfig") -> Tuple[Perturbation, ...]:
+        duration = config.game_duration_s
+        return (
+            FlashCrowd(
+                start_s=config.update_start_s + 0.8 * duration,
+                duration_s=0.2 * duration,
+                poll_accel=5.0,
+            ),
+        )
+
+    return SingleObjectScenario(
+        name="auction-sniping",
+        summary="Online auction: bid updates accelerate toward the close "
+        "while bidders refresh 5x faster in the final stretch.",
+        workload_factory=workload,
+        perturbation_factory=perturbations,
+        content_id="auction",
+        tags=("single-object", "load-ramp"),
+    )
+
+
+#: The built-in entries, in presentation order.
+BUILTIN_SCENARIOS: Tuple[ScenarioEntry, ...] = (
+    ScenarioEntry(
+        name="paper-baseline",
+        factory=_paper_baseline,
+        aliases=("baseline", "paper"),
+        summary=_paper_baseline().summary,
+        tags=("baseline", "single-object"),
+    ),
+    ScenarioEntry(
+        name="flash-crowd",
+        factory=_flash_crowd,
+        summary=_flash_crowd().summary,
+        tags=("single-object", "load-surge"),
+    ),
+    ScenarioEntry(
+        name="diurnal",
+        factory=_diurnal,
+        summary=_diurnal().summary,
+        tags=("single-object", "load-shape"),
+    ),
+    ScenarioEntry(
+        name="failure-storm",
+        factory=_failure_storm,
+        aliases=("storm",),
+        summary=_failure_storm().summary,
+        tags=("single-object", "failures"),
+    ),
+    ScenarioEntry(
+        name="cdn-reconfig",
+        factory=_cdn_reconfig,
+        aliases=("reconfig", "youlighter"),
+        summary=_cdn_reconfig().summary,
+        tags=("single-object", "reconfiguration"),
+    ),
+    ScenarioEntry(
+        name="zipf-catalog",
+        factory=_zipf_catalog,
+        aliases=("catalog", "zipf"),
+        summary=_zipf_catalog().summary,
+        tags=("catalog", "churn"),
+    ),
+    ScenarioEntry(
+        name="flash-sale",
+        factory=_flash_sale,
+        aliases=("sale",),
+        summary=_flash_sale().summary,
+        tags=("single-object", "load-surge"),
+    ),
+    ScenarioEntry(
+        name="auction-sniping",
+        factory=_auction_sniping,
+        aliases=("auction",),
+        summary=_auction_sniping().summary,
+        tags=("single-object", "load-ramp"),
+    ),
+)
+
+for _entry in BUILTIN_SCENARIOS:
+    register_scenario(_entry)

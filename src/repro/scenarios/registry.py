@@ -1,0 +1,110 @@
+"""Pluggable scenario registry (same entry shape as the method registry).
+
+Every place that turns a scenario *name* into a :class:`Scenario` --
+the ``repro scenario`` CLI, ``repro sweep --scenarios``, the testbed's
+:func:`~repro.experiments.testbed.build_deployment` and the sweep
+runner's :class:`~repro.runner.RunSpec` -- resolves through this one
+table, exactly like :mod:`repro.consistency.registry` does for methods
+and infrastructures.
+
+The registry is open: call :func:`register_scenario` to plug in new
+scenarios (experiments, downstream packages); the built-in library in
+:mod:`repro.scenarios.library` registers itself on first resolution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from .base import Scenario
+
+__all__ = [
+    "DEFAULT_SCENARIO",
+    "ScenarioEntry",
+    "SCENARIO_REGISTRY",
+    "register_scenario",
+    "scenario_names",
+    "scenario_choices",
+    "resolve_scenario",
+]
+
+#: The scenario every legacy entry point implies: the paper's exact
+#: single-trace workload, no catalog, no perturbations.
+DEFAULT_SCENARIO = "paper-baseline"
+
+
+@dataclass(frozen=True)
+class ScenarioEntry:
+    """One scenario: canonical name, aliases, factory, metadata."""
+
+    name: str
+    #: Builds a fresh (stateless) :class:`Scenario` instance.
+    factory: Callable[[], Scenario]
+    aliases: Tuple[str, ...] = ()
+    summary: str = ""
+    tags: Tuple[str, ...] = ()
+
+
+#: Canonical scenario table, populated by :func:`register_scenario`.
+SCENARIO_REGISTRY: Dict[str, ScenarioEntry] = {}
+
+
+def _ensure_builtins() -> None:
+    """Import the built-in library (idempotent; avoids an import cycle:
+    the library imports this module to register itself)."""
+    from . import library  # noqa: F401  (import triggers registration)
+
+
+def _alias_map() -> Dict[str, str]:
+    mapping: Dict[str, str] = {}
+    for entry in SCENARIO_REGISTRY.values():
+        mapping[entry.name] = entry.name
+        for alias in entry.aliases:
+            mapping[alias] = entry.name
+    return mapping
+
+
+def register_scenario(entry: ScenarioEntry) -> ScenarioEntry:
+    """Add *entry* to the registry; name/alias collisions fail loudly."""
+    taken = _alias_map()
+    for name in (entry.name,) + tuple(entry.aliases):
+        if name in taken:
+            raise ValueError(
+                "scenario name %r already registered (by %r)" % (name, taken[name])
+            )
+    SCENARIO_REGISTRY[entry.name] = entry
+    return entry
+
+
+def scenario_names() -> Tuple[str, ...]:
+    """The canonical scenario names, in registration order."""
+    _ensure_builtins()
+    return tuple(SCENARIO_REGISTRY)
+
+
+def scenario_choices() -> Tuple[str, ...]:
+    """Canonical names plus every alias (for CLI ``choices=``)."""
+    _ensure_builtins()
+    choices = list(SCENARIO_REGISTRY)
+    for entry in SCENARIO_REGISTRY.values():
+        choices.extend(entry.aliases)
+    return tuple(choices)
+
+
+def resolve_scenario(name) -> Scenario:
+    """Look up a scenario by canonical name or alias.
+
+    A :class:`Scenario` instance passes through unchanged (drivers can
+    take ad-hoc scenario objects without registering them).
+    """
+    if isinstance(name, Scenario):
+        return name
+    _ensure_builtins()
+    canonical = _alias_map().get(name)
+    if canonical is None:
+        raise ValueError(
+            "unknown scenario %r (expected one of %s)"
+            % (name, ", ".join(scenario_choices()))
+        )
+    return SCENARIO_REGISTRY[canonical].factory()

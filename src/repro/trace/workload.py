@@ -13,6 +13,7 @@ by default.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
@@ -36,6 +37,16 @@ DEFAULT_PLAY_WINDOWS: Tuple[Tuple[float, float], ...] = (
 
 DEFAULT_GAME_DURATION_S = 8760.0  # 2 h 26 m
 DEFAULT_SNAPSHOT_COUNT = 306
+
+
+def _require_finite(**values: float) -> None:
+    """Reject NaN/inf knobs by name.  The thinning generators loop until
+    ``t >= duration``; a NaN or infinite duration or rate would make
+    that loop spin (and allocate) forever, so bad values must die at
+    construction, not at generate time."""
+    for name, value in values.items():
+        if not math.isfinite(value):
+            raise ValueError("%s must be finite, got %r" % (name, value))
 
 
 @dataclass
@@ -186,12 +197,35 @@ class FlashSaleWorkload:
     sale_rate_multiplier: float = 60.0
 
     def __post_init__(self) -> None:
-        if self.duration_s <= 0 or self.sale_duration_s <= 0:
-            raise ValueError("durations must be positive")
+        _require_finite(
+            duration_s=self.duration_s,
+            sale_start_s=self.sale_start_s,
+            sale_duration_s=self.sale_duration_s,
+            base_rate_per_s=self.base_rate_per_s,
+            sale_rate_multiplier=self.sale_rate_multiplier,
+        )
+        if self.duration_s <= 0:
+            raise ValueError(
+                "duration_s must be positive, got %r" % self.duration_s
+            )
+        if self.sale_duration_s <= 0:
+            raise ValueError(
+                "sale_duration_s must be positive, got %r" % self.sale_duration_s
+            )
         if not 0 <= self.sale_start_s <= self.duration_s:
-            raise ValueError("sale_start_s outside the horizon")
-        if self.base_rate_per_s <= 0 or self.sale_rate_multiplier < 1:
-            raise ValueError("rates must be positive, multiplier >= 1")
+            raise ValueError(
+                "sale_start_s must be within [0, duration_s=%r], got %r"
+                % (self.duration_s, self.sale_start_s)
+            )
+        if self.base_rate_per_s <= 0:
+            raise ValueError(
+                "base_rate_per_s must be positive, got %r" % self.base_rate_per_s
+            )
+        if self.sale_rate_multiplier < 1:
+            raise ValueError(
+                "sale_rate_multiplier must be >= 1, got %r"
+                % self.sale_rate_multiplier
+            )
 
     def rate_at(self, t: float) -> float:
         """Instantaneous update rate (piecewise constant)."""
@@ -227,10 +261,21 @@ class AuctionWorkload:
     closing_rate_per_s: float = 0.5
 
     def __post_init__(self) -> None:
+        _require_finite(
+            duration_s=self.duration_s,
+            base_rate_per_s=self.base_rate_per_s,
+            closing_rate_per_s=self.closing_rate_per_s,
+        )
         if self.duration_s <= 0:
-            raise ValueError("duration_s must be positive")
+            raise ValueError(
+                "duration_s must be positive, got %r" % self.duration_s
+            )
         if not 0 < self.base_rate_per_s <= self.closing_rate_per_s:
-            raise ValueError("need 0 < base rate <= closing rate")
+            raise ValueError(
+                "need 0 < base_rate_per_s <= closing_rate_per_s, got "
+                "base_rate_per_s=%r, closing_rate_per_s=%r"
+                % (self.base_rate_per_s, self.closing_rate_per_s)
+            )
 
     def rate_at(self, t: float) -> float:
         frac = min(1.0, max(0.0, t / self.duration_s))

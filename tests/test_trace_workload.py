@@ -4,9 +4,11 @@ import pytest
 
 from repro.sim import StreamRegistry
 from repro.trace.workload import (
+    AuctionWorkload,
     BurstSilenceWorkload,
     DEFAULT_GAME_DURATION_S,
     DEFAULT_PLAY_WINDOWS,
+    FlashSaleWorkload,
     LiveGameWorkload,
     PoissonWorkload,
 )
@@ -103,3 +105,123 @@ class TestBurstSilenceWorkload:
             BurstSilenceWorkload(n_bursts=0)
         with pytest.raises(ValueError):
             BurstSilenceWorkload(burst_gap_mean_s=0)
+
+
+class TestFlashSaleWorkload:
+    def test_sale_window_is_denser(self):
+        workload = FlashSaleWorkload(
+            duration_s=7200.0,
+            sale_start_s=3600.0,
+            sale_duration_s=900.0,
+            base_rate_per_s=1.0 / 300.0,
+            sale_rate_multiplier=60.0,
+        )
+        times = workload.generate(stream())
+        in_sale = [t for t in times if 3600.0 <= t < 4500.0]
+        before = [t for t in times if t < 3600.0]
+        assert len(in_sale) / 900.0 > 10 * max(1, len(before)) / 3600.0
+        assert times == sorted(times)
+        assert all(0.0 <= t < 7200.0 for t in times)
+
+    def test_rate_at_piecewise(self):
+        workload = FlashSaleWorkload(
+            sale_start_s=100.0, sale_duration_s=50.0, duration_s=1000.0,
+            base_rate_per_s=0.01, sale_rate_multiplier=10.0,
+        )
+        assert workload.rate_at(50.0) == pytest.approx(0.01)
+        assert workload.rate_at(120.0) == pytest.approx(0.1)
+        assert workload.rate_at(150.0) == pytest.approx(0.01)
+
+    def test_rejects_nonpositive_durations(self):
+        with pytest.raises(ValueError, match="duration_s must be positive, got 0"):
+            FlashSaleWorkload(duration_s=0.0, sale_start_s=0.0)
+        with pytest.raises(ValueError, match="duration_s must be positive, got -1"):
+            FlashSaleWorkload(duration_s=-1.0, sale_start_s=0.0)
+        with pytest.raises(
+            ValueError, match="sale_duration_s must be positive"
+        ):
+            FlashSaleWorkload(sale_duration_s=0.0)
+
+    def test_rejects_sale_outside_horizon(self):
+        with pytest.raises(
+            ValueError, match=r"sale_start_s must be within \[0, duration_s"
+        ):
+            FlashSaleWorkload(duration_s=100.0, sale_start_s=200.0)
+
+    def test_rejects_bad_rates(self):
+        with pytest.raises(ValueError, match="base_rate_per_s must be positive"):
+            FlashSaleWorkload(base_rate_per_s=0.0)
+        with pytest.raises(ValueError, match="sale_rate_multiplier must be >= 1"):
+            FlashSaleWorkload(sale_rate_multiplier=0.5)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_rejects_nonfinite_duration(self, bad):
+        # A non-finite horizon would make generate() loop forever.
+        with pytest.raises(ValueError, match="duration_s must be finite"):
+            FlashSaleWorkload(duration_s=bad)
+
+    @pytest.mark.parametrize(
+        "knob",
+        ["sale_start_s", "sale_duration_s", "base_rate_per_s",
+         "sale_rate_multiplier"],
+    )
+    def test_rejects_nonfinite_knobs(self, knob):
+        with pytest.raises(ValueError, match="%s must be finite" % knob):
+            FlashSaleWorkload(**{knob: float("nan")})
+
+    def test_determinism(self):
+        workload = FlashSaleWorkload()
+        assert workload.generate(stream(seed=3)) == workload.generate(stream(seed=3))
+
+
+class TestAuctionWorkload:
+    def test_sniping_accelerates(self):
+        workload = AuctionWorkload(
+            duration_s=3600.0, base_rate_per_s=0.002, closing_rate_per_s=0.5
+        )
+        times = workload.generate(stream())
+        first_half = [t for t in times if t < 1800.0]
+        second_half = [t for t in times if t >= 1800.0]
+        assert len(second_half) > len(first_half)
+        assert times == sorted(times)
+
+    def test_rate_at_ramps_linearly(self):
+        workload = AuctionWorkload(
+            duration_s=100.0, base_rate_per_s=0.1, closing_rate_per_s=0.3
+        )
+        assert workload.rate_at(0.0) == pytest.approx(0.1)
+        assert workload.rate_at(50.0) == pytest.approx(0.2)
+        assert workload.rate_at(100.0) == pytest.approx(0.3)
+        assert workload.rate_at(1000.0) == pytest.approx(0.3)  # clamped
+
+    def test_rejects_nonpositive_duration(self):
+        with pytest.raises(ValueError, match="duration_s must be positive, got 0"):
+            AuctionWorkload(duration_s=0.0)
+        with pytest.raises(
+            ValueError, match="duration_s must be positive, got -5"
+        ):
+            AuctionWorkload(duration_s=-5.0)
+
+    def test_rejects_bad_rate_ordering(self):
+        with pytest.raises(
+            ValueError,
+            match="need 0 < base_rate_per_s <= closing_rate_per_s, "
+            "got base_rate_per_s=0.5",
+        ):
+            AuctionWorkload(base_rate_per_s=0.5, closing_rate_per_s=0.1)
+        with pytest.raises(ValueError, match="base_rate_per_s=0.0,"):
+            AuctionWorkload(base_rate_per_s=0.0)
+
+    @pytest.mark.parametrize(
+        "knob", ["duration_s", "base_rate_per_s", "closing_rate_per_s"]
+    )
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_rejects_nonfinite_knobs(self, knob, bad):
+        # NaN/inf knobs previously slipped past validation and made
+        # generate() spin forever (t >= nan is never true).
+        with pytest.raises(ValueError, match="%s must be finite" % knob):
+            AuctionWorkload(**{knob: bad})
+
+    def test_determinism(self):
+        workload = AuctionWorkload()
+        assert workload.generate(stream(seed=3)) == workload.generate(stream(seed=3))
