@@ -194,3 +194,68 @@ def test_transport_fast_vs_legacy(benchmark):
         "fast transport only %.2fx the legacy path (need >= %.2fx)"
         % (speedup, min_speedup)
     )
+
+
+def _kernel_deployment(legacy):
+    """One full TTL/unicast deployment run at CI scale under the chosen
+    kernel.  The kernel flag is read at ``Environment`` construction, so
+    it is pinned around ``build_deployment`` only."""
+    import os
+
+    import repro.network.message as message_mod
+    from repro.experiments.config import ci_scale
+    from repro.experiments.testbed import build_deployment
+
+    message_mod._SEQ = 0
+    prior = os.environ.get("REPRO_LEGACY_KERNEL")
+    os.environ["REPRO_LEGACY_KERNEL"] = "1" if legacy else "0"
+    try:
+        deployment = build_deployment(ci_scale(users_per_server=2), "ttl")
+    finally:
+        if prior is None:
+            os.environ.pop("REPRO_LEGACY_KERNEL", None)
+        else:
+            os.environ["REPRO_LEGACY_KERNEL"] = prior
+    assert deployment.env.legacy_kernel is legacy
+    metrics = deployment.run().to_dict()
+    events = metrics.pop("events_processed")
+    return metrics, events
+
+
+def test_kernel_fast_vs_legacy(benchmark):
+    """The fast kernel (timer wheel + sync dispatch + inline transport)
+    must beat the legacy kernel on a whole deployment run.
+
+    Also re-checks bit-identity of the resulting metrics here in the
+    benchmark regime (CI scale), complementing the differential suite in
+    ``tests/test_kernel_equivalence.py``.  The recorded ``extra_info``
+    key is ``kernel_speedup`` (``transport_speedup`` is reserved for the
+    transport storm's floor gate).
+    """
+    import os
+    import time
+
+    fast_metrics, fast_events = benchmark(_kernel_deployment, legacy=False)
+
+    legacy_times = []
+    for _ in range(3):
+        start = time.perf_counter()
+        legacy_metrics, legacy_events = _kernel_deployment(legacy=True)
+        legacy_times.append(time.perf_counter() - start)
+    legacy_s = min(legacy_times)
+
+    fast_s = benchmark.stats.stats.min
+    speedup = legacy_s / fast_s
+    benchmark.extra_info["fast_events"] = fast_events
+    benchmark.extra_info["legacy_events"] = legacy_events
+    benchmark.extra_info["fast_events_per_s"] = fast_events / fast_s
+    benchmark.extra_info["legacy_events_per_s"] = legacy_events / legacy_s
+    benchmark.extra_info["kernel_speedup"] = speedup
+
+    assert fast_metrics == legacy_metrics
+    assert fast_events < legacy_events
+    min_speedup = float(os.environ.get("REPRO_BENCH_MIN_KERNEL_SPEEDUP", "1.5"))
+    assert speedup >= min_speedup, (
+        "fast kernel only %.2fx the legacy kernel (need >= %.2fx)"
+        % (speedup, min_speedup)
+    )

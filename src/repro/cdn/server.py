@@ -9,17 +9,46 @@ and HAT supernodes) via :class:`~repro.cdn.base.UpdateSourceMixin`.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Any, Callable, Generator, List, Optional
 
 from ..network.link import NetworkFabric
 from ..network.message import Message, MessageKind
 from ..network.node import NetworkNode
-from ..sim.engine import Environment
+from ..sim.engine import Environment, Event
 from .base import Actor, UpdateSourceMixin
 from .cache import TTLCache
 from .content import LiveContent
 
 __all__ = ["ServerActor", "schedule_absence"]
+
+
+def _task_driver(
+    generator: Generator[Event, Any, Any], first: Event
+) -> Generator[Event, Any, None]:
+    """Drive *generator* (whose first yielded event is *first*) as a
+    process, proxying both resume values and thrown exceptions.
+
+    Used by the fast kernel's :meth:`ServerActor._start_task`: the task
+    body already ran up to its first ``yield``, so a plain ``yield from``
+    would re-run it.  Exceptions are forwarded with ``throw`` so
+    ``try``/``finally`` blocks inside the task (e.g. the invalidation
+    policy's in-flight bookkeeping) behave exactly as under
+    ``env.process(generator)``.
+    """
+    event = first
+    while True:
+        try:
+            value = yield event
+        except BaseException as exc:  # noqa: BLE001 - full proxy semantics
+            try:
+                event = generator.throw(exc)
+            except StopIteration:
+                return
+        else:
+            try:
+                event = generator.send(value)
+            except StopIteration:
+                return
 
 
 class ServerActor(Actor, UpdateSourceMixin):
@@ -131,6 +160,25 @@ class ServerActor(Actor, UpdateSourceMixin):
         """(time, version) cache-write history for metrics."""
         return self.cache.apply_log(self.content.content_id)
 
+    def _start_task(self, generator: Generator[Event, Any, Any]) -> None:
+        """Run a message-triggered task (poll/fetch answer, serve).
+
+        Legacy kernel: a full :class:`~repro.sim.process.Process` per
+        task.  Fast kernel: run the body synchronously up to its first
+        ``yield`` -- the common eager-TTL / push / fresh-invalidation
+        case completes without yielding at all, costing **zero** kernel
+        events instead of a process + ``_Initialize`` pop -- and only
+        tasks that actually wait get a driver process.
+        """
+        if self.env.legacy_kernel:
+            self.env.process(generator)
+            return
+        try:
+            first = next(generator)
+        except StopIteration:
+            return
+        self.env.process(_task_driver(generator, first))
+
     # ------------------------------------------------------------------
     def handle(self, message: Message) -> None:
         kind = message.kind
@@ -139,13 +187,13 @@ class ServerActor(Actor, UpdateSourceMixin):
         elif kind is MessageKind.INVALIDATE:
             self.policy.on_invalidate(message)
         elif kind is MessageKind.POLL:
-            self.env.process(self._answer_poll(message))
+            self._start_task(self._answer_poll(message))
         elif kind is MessageKind.FETCH:
-            self.env.process(self._answer_fetch(message))
+            self._start_task(self._answer_fetch(message))
         elif kind is MessageKind.SWITCH_NOTICE:
             self.handle_switch(message)
         elif kind is MessageKind.CONTENT_REQUEST:
-            self.env.process(self._serve(message))
+            self._start_task(self._serve(message))
         elif kind is MessageKind.TREE_MAINTENANCE:
             pass  # handled by the infrastructure's repair process
         else:
@@ -189,9 +237,9 @@ def schedule_absence(env: Environment, node: NetworkNode, start: float, duration
 
     def injector():
         if start > env.now:
-            yield env.timeout(start - env.now)
+            yield env.pooled_timeout(start - env.now)
         node.mark_down()
-        yield env.timeout(duration)
+        yield env.pooled_timeout(duration)
         node.mark_up()
 
     return env.process(injector())

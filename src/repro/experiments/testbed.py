@@ -36,8 +36,11 @@ from ..metrics.consistency import (
     mean_update_lag,
     stale_observation_fraction,
 )
+from ..metrics.incremental import ServerLagTracker, UserObservationTracker
+from ..metrics.timeseries import StalenessSeries, StalenessSeriesCache
 from ..metrics.traffic import TrafficLedger
 from ..network.link import NetworkFabric
+from ..network.node import NetworkNode
 from ..network.topology import Topology, TopologyBuilder
 from ..obs.counters import staleness_histogram
 from ..obs.telemetry import TELEMETRY, span
@@ -195,6 +198,31 @@ class Deployment:
         self.servers = servers
         self.users = users
         self._ran = False
+        #: Memoized staleness-series derivations (keyed by replica and
+        #: apply-log length, so entries self-invalidate on new applies).
+        self.series_cache = StalenessSeriesCache(content)
+        #: Incremental metric state (fast kernel): running lag sums
+        #: updated at version-change / visit events, so the collection
+        #: pass is a cheap read instead of a full log re-scan.
+        self._server_trackers: Dict[str, ServerLagTracker] = {}
+        self._user_trackers: Dict[str, UserObservationTracker] = {}
+        if not env.legacy_kernel:
+            for server in servers:
+                tracker = ServerLagTracker(content)
+                self._server_trackers[server.node.node_id] = tracker
+                server.on_apply_hooks.append(self._apply_hook(tracker))
+            for user in users:
+                user_tracker = UserObservationTracker(content)
+                self._user_trackers[user.node.node_id] = user_tracker
+                user.on_observation = user_tracker.observe
+
+    def _apply_hook(self, tracker: ServerLagTracker):
+        env = self.env
+
+        def hook(version: int) -> None:
+            tracker.on_apply(env.now, version)
+
+        return hook
 
     def run(self, horizon_s: Optional[float] = None) -> DeploymentMetrics:
         """Start all actors, run to the horizon, and summarise."""
@@ -217,6 +245,36 @@ class Deployment:
         for user in self.users:
             yield user.node
 
+    # ------------------------------------------------------------------
+    # cached staleness series (see repro.metrics.timeseries)
+    # ------------------------------------------------------------------
+    def staleness_series_of(
+        self,
+        server_id: str,
+        horizon_s: Optional[float] = None,
+        step_s: float = 10.0,
+    ) -> StalenessSeries:
+        """One server's staleness-over-time series, memoized per
+        ``(server, log length, horizon, step)``."""
+        horizon = horizon_s if horizon_s is not None else self.config.run_horizon_s
+        for server in self.servers:
+            if server.node.node_id == server_id:
+                return self.series_cache.series(
+                    server_id, server.apply_log(), horizon, step_s
+                )
+        raise KeyError("unknown server %r" % server_id)
+
+    def fleet_staleness_series(
+        self, horizon_s: Optional[float] = None, step_s: float = 10.0
+    ) -> StalenessSeries:
+        """Mean staleness across all servers over time (memoized)."""
+        horizon = horizon_s if horizon_s is not None else self.config.run_horizon_s
+        return self.series_cache.fleet(
+            [(server.node.node_id, server.apply_log()) for server in self.servers],
+            horizon,
+            step_s,
+        )
+
     def _collect(self, horizon: float) -> DeploymentMetrics:
         ledger = self.fabric.ledger
         counters = self.fabric.counters
@@ -229,20 +287,33 @@ class Deployment:
         TELEMETRY.count(
             "fabric.isp_crossing_messages", counters.isp_crossing_messages
         )
-        server_lags = {
-            server.node.node_id: mean_update_lag(
-                self.content, server.apply_log(), censor_at=horizon
-            )
-            for server in self.servers
-        }
-        user_lags = {}
-        stale = {}
-        for user in self.users:
-            log = [(obs.time, obs.version) for obs in user.observations]
-            user_lags[user.node.node_id] = mean_update_lag(
-                self.content, log, censor_at=horizon
-            )
-            stale[user.node.node_id] = stale_observation_fraction(user.observations)
+        user_lags: Dict[str, float] = {}
+        stale: Dict[str, float] = {}
+        if not self.env.legacy_kernel:
+            # Fast kernel: read the incrementally-maintained state.
+            server_lags = {
+                server_id: tracker.mean_lag(horizon)
+                for server_id, tracker in self._server_trackers.items()
+            }
+            for user_id, user_tracker in self._user_trackers.items():
+                user_lags[user_id] = user_tracker.mean_lag(horizon)
+                stale[user_id] = user_tracker.stale_fraction()
+        else:
+            # Legacy kernel: re-derive everything from the full logs.
+            server_lags = {
+                server.node.node_id: mean_update_lag(
+                    self.content, server.apply_log(), censor_at=horizon
+                )
+                for server in self.servers
+            }
+            for user in self.users:
+                log = [(obs.time, obs.version) for obs in user.observations]
+                user_lags[user.node.node_id] = mean_update_lag(
+                    self.content, log, censor_at=horizon
+                )
+                stale[user.node.node_id] = stale_observation_fraction(
+                    user.observations
+                )
         hist_edges, hist_counts = staleness_histogram(list(server_lags.values()))
         return DeploymentMetrics(
             name=self.name,
@@ -286,6 +357,116 @@ class Deployment:
 # ----------------------------------------------------------------------
 # shared construction pieces
 # ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _NodeSpec:
+    """Environment-free snapshot of one placed node."""
+
+    node_id: str
+    point: object
+    isp: object
+    uplink_kbps: float
+    city_name: Optional[str]
+
+
+@dataclass
+class _Placement:
+    """A memoized topology placement plus its shared path geometry.
+
+    Placement draws come exclusively from the dedicated
+    ``topology.place`` / ``topology.isp`` streams, so sweep points that
+    share ``(seed, n_servers, users_per_server, provider_city)`` place
+    identical nodes; rebuilding nodes from the snapshot (instead of
+    re-drawing) is bit-identical and skips the catalog sampling, ISP
+    assignment, and -- via the shared ``path_cache`` -- the per-pair
+    great-circle trigonometry of every later run.
+    """
+
+    provider: _NodeSpec
+    servers: tuple
+    users: tuple
+    path_cache: Dict
+
+
+_PLACEMENT_CACHE: Dict[tuple, _Placement] = {}
+_PLACEMENT_CACHE_MAX = 32
+
+
+def _snapshot_node(node: NetworkNode) -> _NodeSpec:
+    return _NodeSpec(
+        node_id=node.node_id,
+        point=node.point,
+        isp=node.isp,
+        uplink_kbps=node.uplink_kbps,
+        city_name=node.city_name,
+    )
+
+
+def _spawn_node(env: Environment, spec: _NodeSpec) -> NetworkNode:
+    return NetworkNode(
+        env,
+        node_id=spec.node_id,
+        point=spec.point,  # type: ignore[arg-type]
+        isp=spec.isp,  # type: ignore[arg-type]
+        uplink_kbps=spec.uplink_kbps,
+        city_name=spec.city_name,
+    )
+
+
+def _placed_topology(env: Environment, streams: StreamRegistry, config: TestbedConfig):
+    """Build (or rebuild from cache) the topology for *config*.
+
+    Returns ``(topology, path_cache)``.  The legacy kernel always builds
+    fresh (and shares nothing), keeping the switchable slow path
+    pristine for differential tests.
+    """
+    if env.legacy_kernel:
+        builder = TopologyBuilder(env, streams)
+        topology = builder.build(
+            n_servers=config.n_servers,
+            users_per_server=config.users_per_server,
+            provider_city=config.provider_city,
+        )
+        return topology, None
+    key = (
+        config.seed,
+        config.n_servers,
+        config.users_per_server,
+        config.provider_city,
+    )
+    placement = _PLACEMENT_CACHE.get(key)
+    if placement is None:
+        builder = TopologyBuilder(env, streams)
+        topology = builder.build(
+            n_servers=config.n_servers,
+            users_per_server=config.users_per_server,
+            provider_city=config.provider_city,
+        )
+        placement = _Placement(
+            provider=_snapshot_node(topology.provider),
+            servers=tuple(_snapshot_node(node) for node in topology.servers),
+            users=tuple(
+                tuple(_snapshot_node(node) for node in group)
+                for group in topology.users
+            ),
+            path_cache={},
+        )
+        if len(_PLACEMENT_CACHE) >= _PLACEMENT_CACHE_MAX:
+            _PLACEMENT_CACHE.pop(next(iter(_PLACEMENT_CACHE)))
+        _PLACEMENT_CACHE[key] = placement
+        return topology, placement.path_cache
+    # Cache hit: rebuild nodes without touching the placement streams.
+    # Nothing else ever draws from topology.place / topology.isp, so
+    # later stream consumers see identical RNG state either way.
+    topology = Topology(
+        provider=_spawn_node(env, placement.provider),
+        servers=[_spawn_node(env, spec) for spec in placement.servers],
+        users=[
+            [_spawn_node(env, spec) for spec in group] for group in placement.users
+        ],
+    )
+    return topology, placement.path_cache
+
+
 def _resolve_scenario_cell(config: TestbedConfig, scenario, scenario_cell: int):
     """Resolve a scenario name (or instance) to its requested cell.
 
@@ -314,13 +495,10 @@ def _base(config: TestbedConfig, tracer: Optional[Tracer] = None, cell=None):
         config = config.with_overrides(**dict(cell.config_overrides))
     env = Environment(tracer=tracer)
     streams = StreamRegistry(config.seed)
-    builder = TopologyBuilder(env, streams)
-    topology = builder.build(
-        n_servers=config.n_servers,
-        users_per_server=config.users_per_server,
-        provider_city=config.provider_city,
+    topology, path_cache = _placed_topology(env, streams, config)
+    fabric = NetworkFabric(
+        env, ledger=TrafficLedger(), streams=streams, path_cache=path_cache
     )
-    fabric = NetworkFabric(env, ledger=TrafficLedger(), streams=streams)
     if cell is not None:
         content = cell.content_factory(config, streams)
     else:

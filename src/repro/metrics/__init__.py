@@ -11,7 +11,13 @@ from .stats import (
     summarize,
     uniform_cdf_value,
 )
-from .timeseries import StalenessSeries, fleet_staleness_series, staleness_series
+from .incremental import ServerLagTracker, UserObservationTracker
+from .timeseries import (
+    StalenessSeries,
+    StalenessSeriesCache,
+    fleet_staleness_series,
+    staleness_series,
+)
 from .traffic import KindTotals, TrafficLedger
 
 __all__ = [
@@ -27,6 +33,9 @@ __all__ = [
     "KindTotals",
     "TrafficLedger",
     "StalenessSeries",
+    "StalenessSeriesCache",
     "staleness_series",
     "fleet_staleness_series",
+    "ServerLagTracker",
+    "UserObservationTracker",
 ]

@@ -1,0 +1,139 @@
+"""Incremental staleness accounting (the fast kernel's metric path).
+
+The legacy collection pass re-derives every lag metric from scratch at
+the end of a run: it walks each server's full apply log and each user's
+full observation log through :func:`~repro.metrics.consistency.update_lags`
+(a ``searchsorted`` per update per replica).  These trackers maintain
+the same quantities *incrementally* -- a few float operations per
+version-change or visit event, hooked into
+:attr:`~repro.cdn.server.ServerActor.on_apply_hooks` and
+:attr:`~repro.cdn.client.EndUserActor.on_observation` -- so collection
+is a cheap read of running state.
+
+Bit-identity with the legacy pass is structural, not approximate:
+
+- Apply logs record strictly increasing versions (the cache layer only
+  appends strictly newer writes), so the first log entry whose running
+  max reaches update ``i`` is exactly the apply that covered ``i``; the
+  tracker scores ``i`` at that moment with the same float subtraction.
+- Covered updates form a prefix ``1..V_final`` and censored updates the
+  tail, in both implementations, so the lag list feeding ``np.mean``
+  has the same values in the same order (pairwise summation is
+  order-sensitive, so order is part of the contract).
+- The stale-visit count compares each observation against the running
+  maximum seen *before* it, with the same strict ``<``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports (the cdn
+    # package imports the metrics package at module load, so importing
+    # back at runtime would be circular)
+    from ..cdn.client import Observation
+    from ..cdn.content import LiveContent
+
+__all__ = ["ServerLagTracker", "UserObservationTracker"]
+
+
+class ServerLagTracker:
+    """Running per-update lags of one server replica.
+
+    ``on_apply(now, version)`` must be called exactly when a strictly
+    newer *version* lands in the replica's cache (wire it to
+    ``ServerActor.on_apply_hooks``); versions across calls are therefore
+    strictly increasing.
+    """
+
+    __slots__ = ("_times", "_lags", "_covered")
+
+    def __init__(self, content: LiveContent) -> None:
+        self._times = list(content.update_times)
+        self._lags: List[float] = []
+        #: Highest update index already scored (covered prefix).
+        self._covered = 0
+
+    def on_apply(self, now: float, version: int) -> None:
+        times = self._times
+        top = min(version, len(times))
+        covered = self._covered
+        if top <= covered:
+            return
+        lags = self._lags
+        for index in range(covered + 1, top + 1):
+            lags.append(max(0.0, now - times[index - 1]))
+        self._covered = top
+
+    def mean_lag(self, censor_at: float) -> float:
+        """Mean update lag with never-covered updates censored at
+        *censor_at* -- equals ``mean_update_lag(content, apply_log,
+        censor_at=censor_at)`` on the replica's full log.  Non-destructive."""
+        times = self._times
+        lags = self._lags + [
+            max(0.0, censor_at - times[index - 1])
+            for index in range(self._covered + 1, len(times) + 1)
+        ]
+        if not lags:
+            return 0.0
+        return float(np.mean(lags))
+
+
+class UserObservationTracker:
+    """Running per-update lags and stale-visit count of one end user.
+
+    ``on_observe`` must be called once per recorded
+    :class:`~repro.cdn.client.Observation`, in observation order (wire
+    :meth:`observe` to ``EndUserActor.on_observation``).  Unlike server
+    applies, observed versions may regress (a redirection to a stale
+    server); regressions below the running maximum count as stale visits
+    and never advance coverage.
+    """
+
+    __slots__ = ("_times", "_lags", "_seen", "_stale", "_total")
+
+    def __init__(self, content: LiveContent) -> None:
+        self._times = list(content.update_times)
+        self._lags: List[float] = []
+        #: Running maximum observed version (-1 before any visit).
+        self._seen = -1
+        self._stale = 0
+        self._total = 0
+
+    def observe(self, observation: Observation) -> None:
+        """``EndUserActor.on_observation``-shaped adapter."""
+        self.on_observe(observation.time, observation.version)
+
+    def on_observe(self, now: float, version: int) -> None:
+        self._total += 1
+        seen = self._seen
+        if version < seen:
+            self._stale += 1
+            return
+        if version > seen:
+            times = self._times
+            lags = self._lags
+            for index in range(max(seen, 0) + 1, min(version, len(times)) + 1):
+                lags.append(max(0.0, now - times[index - 1]))
+            self._seen = version
+
+    def mean_lag(self, censor_at: float) -> float:
+        """Mean first-sight update lag, censored at *censor_at* -- equals
+        ``mean_update_lag`` on the user's full observation log."""
+        times = self._times
+        covered = min(max(self._seen, 0), len(times))
+        lags = self._lags + [
+            max(0.0, censor_at - times[index - 1])
+            for index in range(covered + 1, len(times) + 1)
+        ]
+        if not lags:
+            return 0.0
+        return float(np.mean(lags))
+
+    def stale_fraction(self) -> float:
+        """Equals ``stale_observation_fraction`` on the observation log."""
+        if not self._total:
+            return 0.0
+        return self._stale / self._total

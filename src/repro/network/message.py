@@ -19,6 +19,11 @@ __all__ = ["MessageKind", "Message", "LIGHT_KINDS", "UPDATE_KINDS"]
 class MessageKind(enum.Enum):
     """All message types exchanged in the simulated CDN."""
 
+    # Members are process-wide singletons, so the identity hash is
+    # correct -- and C-speed, unlike ``enum.Enum.__hash__`` (a Python
+    # function that dominates ledger/counter dict lookups at CDN scale).
+    __hash__ = object.__hash__
+
     # --- consistency maintenance: update (heavy) messages --------------
     PUSH_UPDATE = "push_update"          # provider/parent pushes new body
     POLL_RESPONSE = "poll_response"      # poll answered *with a new body*

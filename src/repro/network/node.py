@@ -10,7 +10,7 @@ Figs. 19-20), while a binary-tree parent queues only 2.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Callable, Optional
 
 from ..sim.engine import Environment
 from ..sim.resources import Resource, Store
@@ -54,6 +54,11 @@ class NetworkNode:
         self.output_port = Resource(env, capacity=1)
         #: Inbox: the fabric delivers received messages into this store.
         self.inbox: Store = Store(env)
+        #: Fast-kernel direct dispatch: when an actor registers a
+        #: consumer, :meth:`deliver` calls it synchronously at delivery
+        #: time instead of round-tripping through the inbox store (which
+        #: costs a ``StorePut`` + ``StoreGet`` heap pop per message).
+        self.consumer: Optional[Callable[[Any], None]] = None
         #: Number of currently active absences.  The node is up only
         #: while this is zero, so overlapping failure-injection windows
         #: nest instead of the first window's end reviving the node
@@ -118,6 +123,16 @@ class NetworkNode:
         tracer = self.env.tracer
         if tracer.enabled:
             tracer.emit(now, "node_up" if up else "node_down", self.node_id)
+
+    def deliver(self, message: Any) -> None:
+        """Hand a delivered *message* to the registered consumer, or the
+        inbox store when no consumer is attached (legacy kernel, bare
+        nodes in transport tests)."""
+        consumer = self.consumer
+        if consumer is not None:
+            consumer(message)
+        else:
+            self.inbox.put(message)
 
     def downtime_s(self, now: Optional[float] = None) -> float:
         """Total seconds spent down, including any open absence."""

@@ -150,7 +150,11 @@ class MetricsRegistry:
     """
 
     def __init__(self, enabled: Optional[bool] = None) -> None:
-        self.enabled = telemetry_enabled() if enabled is None else enabled
+        #: Explicit override (constructor argument or later assignment);
+        #: ``None`` defers to the live ``REPRO_TELEMETRY`` value so the
+        #: process-wide singleton honours env changes made after import
+        #: (e.g. ``monkeypatch.setenv`` in tests).
+        self._enabled_override: Optional[bool] = enabled
         self._counters: Dict[str, float] = {}
         self._gauges: Dict[str, float] = {}
         self._histograms: Dict[str, Histogram] = {}
@@ -160,6 +164,19 @@ class MetricsRegistry:
         self._stack: List[List[Any]] = []
         #: name -> live nesting depth (recursion guard for cum_s).
         self._active: Dict[str, int] = {}
+
+    @property
+    def enabled(self) -> bool:
+        """Live telemetry switch: the explicit override when one was
+        set, otherwise the current ``REPRO_TELEMETRY`` value."""
+        override = self._enabled_override
+        if override is not None:
+            return override
+        return telemetry_enabled()
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        self._enabled_override = value
 
     # ------------------------------------------------------------------
     # instruments

@@ -87,10 +87,10 @@ class FlashCrowd(Perturbation):
 
         def surge():
             if self.start_s > 0:
-                yield env.timeout(self.start_s)
+                yield env.pooled_timeout(self.start_s)
             for user in users:
                 user.user_ttl_s = user.user_ttl_s / self.poll_accel
-            yield env.timeout(self.duration_s)
+            yield env.pooled_timeout(self.duration_s)
             for user in users:
                 user.user_ttl_s = user.user_ttl_s * self.poll_accel
 
@@ -133,7 +133,7 @@ class DiurnalModulation(Perturbation):
                 )
                 for user, base in zip(users, base_ttls):
                     user.user_ttl_s = base / factor
-                yield env.timeout(self.step_s)
+                yield env.pooled_timeout(self.step_s)
 
         env.process(modulate())
 
@@ -227,7 +227,7 @@ class Reconfiguration(Perturbation):
 
         def migrate(moves: List[Tuple[EndUserActor, NetworkNode]], when: float):
             if when > 0:
-                yield env.timeout(when)
+                yield env.pooled_timeout(when)
             for user, node in moves:
                 user.selector.server = node
 

@@ -63,6 +63,11 @@ class ScenarioOutcome:
 
     def _weighted(self, values: List[float]) -> float:
         total = sum(cell.weight for cell in self.cells)
+        if total <= 0.0:
+            # An all-zero-weight catalog carries no audience: its rollup
+            # is 0.0 rather than a ZeroDivisionError.  (An empty cell
+            # list is already rejected in __post_init__.)
+            return 0.0
         return sum(
             cell.weight * value for cell, value in zip(self.cells, values)
         ) / total

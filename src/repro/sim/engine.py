@@ -16,6 +16,7 @@ produce identical event orderings.
 from __future__ import annotations
 
 import heapq
+import os
 from typing import (
     TYPE_CHECKING,
     Any,
@@ -30,6 +31,7 @@ from typing import (
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
     from .process import Process
+    from .timers import TimerWheel
 
 __all__ = [
     "Environment",
@@ -40,7 +42,15 @@ __all__ = [
     "StopSimulation",
     "URGENT",
     "NORMAL",
+    "LEGACY_KERNEL_ENV",
 ]
+
+#: Environment variable selecting the legacy per-event kernel paths
+#: (per-process timeout churn, inbox-store dispatch, per-collection
+#: staleness scans).  Read once at :class:`Environment` construction --
+#: never at import time -- so tests can flip it with
+#: ``monkeypatch.setenv`` (same contract as ``REPRO_LEGACY_TRANSPORT``).
+LEGACY_KERNEL_ENV = "REPRO_LEGACY_KERNEL"
 
 _heappush = heapq.heappush
 _heappop = heapq.heappop
@@ -228,10 +238,18 @@ class Environment:
         "_active_proc",
         "_timeout_pool",
         "tracer",
+        "legacy_kernel",
+        "timers",
     )
 
-    def __init__(self, initial_time: float = 0.0, tracer: Optional[Any] = None) -> None:
+    def __init__(
+        self,
+        initial_time: float = 0.0,
+        tracer: Optional[Any] = None,
+        legacy_kernel: Optional[bool] = None,
+    ) -> None:
         from ..obs.tracer import NULL_TRACER
+        from .timers import TimerWheel
 
         self._now = float(initial_time)
         self._queue: List[_QueueEntry] = []
@@ -241,6 +259,13 @@ class Environment:
         self._timeout_pool: List[_PooledTimeout] = []
         #: Observability hook; NULL_TRACER (a shared no-op) by default.
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        if legacy_kernel is None:
+            legacy_kernel = os.environ.get(LEGACY_KERNEL_ENV, "") not in ("", "0")
+        #: ``True`` selects the legacy per-event hot paths throughout the
+        #: stack (see :data:`LEGACY_KERNEL_ENV`); fixed at construction.
+        self.legacy_kernel = bool(legacy_kernel)
+        #: Vectorized expiry sweeps for hot-path timers (fast kernel).
+        self.timers: "TimerWheel" = TimerWheel(self)
 
     # ------------------------------------------------------------------
     # introspection
@@ -279,6 +304,24 @@ class Environment:
         """Schedule *event* ``delay`` time units into the future."""
         self._eid += 1
         _push(self._queue, (self._now + delay, priority, self._eid, event))
+
+    def schedule_at(
+        self,
+        event: Event,
+        at: float,
+        priority: int = NORMAL,
+        _push: Callable[[List[_QueueEntry], _QueueEntry], None] = _heappush,
+    ) -> None:
+        """Schedule *event* at the absolute simulated time *at*.
+
+        Float addition is not associative, so re-deriving a stored
+        deadline as ``now + (deadline - now)`` can land one ulp away from
+        the original ``Timeout`` firing time.  Control-plane events that
+        must fire at an exact recorded deadline (the timer wheel's sweep
+        events) schedule through this method instead.
+        """
+        self._eid += 1
+        _push(self._queue, (at, priority, self._eid, event))
 
     def step(
         self, _pop: Callable[[List[_QueueEntry]], _QueueEntry] = _heappop
@@ -337,11 +380,26 @@ class Environment:
         from ..obs.telemetry import TELEMETRY
 
         events_before = self._events_processed
-        step = self.step
+        queue = self._queue
+        timeout_pool = self._timeout_pool
         try:
             with TELEMETRY.span("engine.run"):
-                while True:
-                    step()
+                # :meth:`step` inlined: one method call per event is the
+                # largest fixed cost of the hot loop at CDN scale.  Any
+                # behavioural change here must be mirrored in ``step``.
+                while queue:
+                    self._now, _, _, event = _heappop(queue)
+                    callbacks, event.callbacks = event.callbacks, None
+                    if callbacks is None:  # pragma: no cover - cancelled
+                        continue
+                    self._events_processed += 1
+                    for callback in callbacks:
+                        callback(event)
+                    if not event._ok and not event._defused:
+                        raise event._value
+                    if event.__class__ is _PooledTimeout:
+                        timeout_pool.append(event)
+                raise EmptySchedule()
         except StopSimulation as stop:
             return stop.args[0]
         except EmptySchedule:

@@ -178,13 +178,36 @@ class TestCheckBench:
             check_bench.main([path])
         assert excinfo.value.code == 2
 
-    def test_empty_trajectory_exits_2(self, tmp_path):
+    def test_empty_trajectory_skips_with_warning(self, tmp_path, capsys):
+        # First-run behaviour: a trajectory file that exists but has no
+        # entries yet (fresh checkout, `make bench` not run) is not a
+        # failure -- the gate warns and skips it.
         path = str(tmp_path / "BENCH_empty.json")
         with open(path, "w") as handle:
             json.dump({"format": 1, "history": []}, handle)
-        with pytest.raises(SystemExit) as excinfo:
-            check_bench.main([path])
-        assert excinfo.value.code == 2
+        assert check_bench.main([path]) == 0
+        captured = capsys.readouterr()
+        assert "no recorded entries yet" in captured.err
+        assert "0 of 1 file(s) gated" in captured.out
+
+    def test_empty_trajectory_skips_among_populated(self, tmp_path, capsys):
+        # A mix of empty and populated trajectories still gates the
+        # populated ones.
+        empty = str(tmp_path / "BENCH_empty.json")
+        with open(empty, "w") as handle:
+            json.dump({"format": 1, "history": []}, handle)
+        populated = _trajectory(tmp_path, 0.010, 0.011, 0.0105, 0.040)
+        assert check_bench.main([empty, populated]) == 1
+        captured = capsys.readouterr()
+        assert "no recorded entries yet" in captured.err
+        assert "trailing median" in captured.err
+
+    def test_empty_baseline_is_ignored(self, tmp_path):
+        baseline = str(tmp_path / "BENCH_base.json")
+        with open(baseline, "w") as handle:
+            json.dump({"format": 1, "history": []}, handle)
+        current = _trajectory(tmp_path, 0.010)
+        assert check_bench.main([current, "--baseline", baseline]) == 0
 
     def test_live_trajectories_pass_when_present(self):
         # The repo-root trajectories are local artifacts (gitignored);

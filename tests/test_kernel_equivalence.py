@@ -1,0 +1,363 @@
+"""Differential tests: vectorized fast kernel vs legacy Timeout kernel.
+
+The fast kernel (timer wheel, inline transport start, consumer dispatch,
+sync-first server tasks, incremental staleness, placement memoization)
+must be a pure performance change: every simulated outcome -- delivery
+times, RNG draw order, metric values, fabric counters, message traces --
+must be bit-identical to the legacy path (``REPRO_LEGACY_KERNEL=1``) for
+every update method on every infrastructure, and under perturbation-heavy
+scenarios.  Only the kernel-event *count* may differ (that is the point),
+so ``events_processed`` is excluded from the metric comparison and
+asserted strictly smaller instead.
+
+Also covers the :class:`~repro.sim.timers.TimerWheel` unit contract and
+the construction-time/live semantics of the ``REPRO_LEGACY_KERNEL``,
+``REPRO_LEGACY_TRANSPORT``, and ``REPRO_TELEMETRY`` switches.
+"""
+
+import os
+from contextlib import contextmanager
+
+import pytest
+
+import repro.experiments.testbed as testbed_mod
+import repro.network.message as message_mod
+from repro.experiments.config import TestbedConfig
+from repro.experiments.testbed import INFRASTRUCTURES, METHODS, build_deployment
+from repro.metrics.timeseries import fleet_staleness_series
+from repro.network import NetworkFabric
+from repro.network.link import LEGACY_TRANSPORT_ENV
+from repro.obs.telemetry import MetricsRegistry, TELEMETRY_ENV
+from repro.obs.tracer import RecordingTracer
+from repro.sim import Environment, StreamRegistry
+from repro.sim.engine import LEGACY_KERNEL_ENV
+
+_MESSAGE_KINDS = ("msg_send", "msg_recv", "msg_drop")
+
+
+@contextmanager
+def _kernel(legacy):
+    """Pin ``REPRO_LEGACY_KERNEL`` (a construction-time read) around a
+    build."""
+    old = os.environ.get(LEGACY_KERNEL_ENV)
+    if legacy:
+        os.environ[LEGACY_KERNEL_ENV] = "1"
+    else:
+        os.environ.pop(LEGACY_KERNEL_ENV, None)
+    try:
+        yield
+    finally:
+        if old is None:
+            os.environ.pop(LEGACY_KERNEL_ENV, None)
+        else:
+            os.environ[LEGACY_KERNEL_ENV] = old
+
+
+def _tiny_config(seed, **overrides):
+    defaults = dict(
+        n_servers=6,
+        users_per_server=1,
+        n_updates=6,
+        game_duration_s=200.0,
+        hat_clusters=3,
+        seed=seed,
+    )
+    defaults.update(overrides)
+    return TestbedConfig(**defaults)
+
+
+def _run_cell(method, infrastructure, seed, legacy, scenario=None, **overrides):
+    """One deployment run; returns (metrics, counters, message trace)."""
+    # Message.seq is a process-global counter; reset it so the two runs
+    # under comparison label their messages identically.
+    message_mod._SEQ = 0
+    tracer = RecordingTracer()
+    with _kernel(legacy):
+        deployment = build_deployment(
+            _tiny_config(seed, **overrides),
+            method,
+            infrastructure,
+            tracer=tracer,
+            scenario=scenario,
+        )
+    assert deployment.env.legacy_kernel is legacy
+    metrics = deployment.run()
+    trace = tracer.events(kinds=_MESSAGE_KINDS)
+    return metrics, deployment.fabric.counters.to_dict(), trace
+
+
+def _cell_overrides(method, infrastructure):
+    # invalidation/broadcast floods (quadratic re-broadcast storm); cut
+    # the horizon shortly after the storm starts so the cell stays fast
+    # while still exercising tens of thousands of transfers.
+    if (method, infrastructure) == ("invalidation", "broadcast"):
+        return {"horizon_s": 80.0}
+    return {}
+
+
+def _assert_identical(fast, legacy, label):
+    fast_m, fast_c, fast_t = fast
+    legacy_m, legacy_c, legacy_t = legacy
+    fast_d = fast_m.to_dict()
+    legacy_d = legacy_m.to_dict()
+    fast_events = fast_d.pop("events_processed")
+    legacy_events = legacy_d.pop("events_processed")
+    assert fast_d == legacy_d, "DeploymentMetrics diverged (%s)" % label
+    assert fast_c == legacy_c, "FabricCounters diverged (%s)" % label
+    assert fast_t == legacy_t, "message traces diverged (%s)" % label
+    # The same traffic must cost the fast kernel strictly fewer events.
+    if fast_c["messages_sent"]:
+        assert fast_events < legacy_events, label
+
+
+# ----------------------------------------------------------------------
+# the differential contract
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("infrastructure", INFRASTRUCTURES)
+@pytest.mark.parametrize("method", METHODS)
+def test_fast_kernel_bit_identical(method, infrastructure):
+    """Fast and legacy kernel agree exactly, at three seeds."""
+    overrides = _cell_overrides(method, infrastructure)
+    for seed in (0, 1, 2):
+        fast = _run_cell(method, infrastructure, seed, legacy=False, **overrides)
+        legacy = _run_cell(method, infrastructure, seed, legacy=True, **overrides)
+        _assert_identical(
+            fast, legacy, "%s/%s seed %d" % (method, infrastructure, seed)
+        )
+
+
+@pytest.mark.parametrize(
+    "scenario", ["paper-baseline", "failure-storm", "flash-crowd"]
+)
+def test_scenario_cells_bit_identical(scenario):
+    """Perturbation-heavy scenarios match across kernels too."""
+    for method in ("ttl", "push"):
+        fast = _run_cell(method, "unicast", 0, legacy=False, scenario=scenario)
+        legacy = _run_cell(method, "unicast", 0, legacy=True, scenario=scenario)
+        _assert_identical(fast, legacy, "%s@%s" % (method, scenario))
+
+
+def test_staleness_series_match_across_kernels():
+    """The incremental/cached series path equals the legacy full-log
+    derivation, both per-replica and fleet-wide."""
+    results = {}
+    for legacy in (False, True):
+        message_mod._SEQ = 0
+        with _kernel(legacy):
+            deployment = build_deployment(_tiny_config(3), "ttl", "unicast")
+        deployment.run()
+        fleet = deployment.fleet_staleness_series()
+        first = deployment.staleness_series_of(
+            deployment.servers[0].node.node_id
+        )
+        results[legacy] = (fleet.times, fleet.values, first.times, first.values)
+        # The cache must agree with the uncached module function.
+        direct = fleet_staleness_series(
+            deployment.content,
+            [server.apply_log() for server in deployment.servers],
+            deployment.config.run_horizon_s,
+        )
+        assert fleet.times == direct.times
+        assert fleet.values == direct.values
+        # Repeat queries come from the cache (same object, not a rerun).
+        assert deployment.fleet_staleness_series() is fleet
+        with pytest.raises(KeyError):
+            deployment.staleness_series_of("no-such-server")
+    assert results[False] == results[True]
+
+
+# ----------------------------------------------------------------------
+# placement memoization
+# ----------------------------------------------------------------------
+class TestPlacementCache:
+    def test_cache_hit_is_bit_transparent(self):
+        testbed_mod._PLACEMENT_CACHE.clear()
+        message_mod._SEQ = 0
+        miss = build_deployment(_tiny_config(0), "ttl", "unicast").run().to_dict()
+        assert len(testbed_mod._PLACEMENT_CACHE) == 1
+        message_mod._SEQ = 0
+        hit = build_deployment(_tiny_config(0), "ttl", "unicast").run().to_dict()
+        assert len(testbed_mod._PLACEMENT_CACHE) == 1  # reused, not re-added
+        assert miss == hit
+
+    def test_distinct_topologies_get_distinct_entries(self):
+        testbed_mod._PLACEMENT_CACHE.clear()
+        build_deployment(_tiny_config(0), "ttl", "unicast")
+        build_deployment(_tiny_config(1), "ttl", "unicast")
+        build_deployment(_tiny_config(0, n_servers=4), "ttl", "unicast")
+        assert len(testbed_mod._PLACEMENT_CACHE) == 3
+        # Same topology, different method: shared entry.
+        build_deployment(_tiny_config(0), "push", "multicast")
+        assert len(testbed_mod._PLACEMENT_CACHE) == 3
+
+    def test_legacy_kernel_bypasses_cache(self):
+        testbed_mod._PLACEMENT_CACHE.clear()
+        with _kernel(True):
+            build_deployment(_tiny_config(0), "ttl", "unicast")
+        assert testbed_mod._PLACEMENT_CACHE == {}
+
+    def test_cache_evicts_fifo_at_cap(self, monkeypatch):
+        testbed_mod._PLACEMENT_CACHE.clear()
+        monkeypatch.setattr(testbed_mod, "_PLACEMENT_CACHE_MAX", 2)
+        for seed in (0, 1, 2):
+            build_deployment(_tiny_config(seed), "ttl", "unicast")
+        assert len(testbed_mod._PLACEMENT_CACHE) == 2
+        seeds = [key[0] for key in testbed_mod._PLACEMENT_CACHE]
+        assert seeds == [1, 2]  # seed 0 aged out first
+
+
+# ----------------------------------------------------------------------
+# timer wheel unit contract
+# ----------------------------------------------------------------------
+class TestTimerWheel:
+    def test_fires_in_deadline_order_across_lanes(self):
+        env = Environment()
+        fired = []
+        for delay in (5.0, 1.0, 3.0):
+            waiter = env.event()
+            waiter.callbacks.append(
+                lambda ev, d=delay: fired.append((env.now, d))
+            )
+            env.timers.arm(delay, waiter)
+        env.run()
+        assert fired == [(1.0, 1.0), (3.0, 3.0), (5.0, 5.0)]
+
+    def test_same_lane_is_fifo_and_sweeps_in_one_batch(self):
+        env = Environment()
+        fired = []
+        for index in range(10):
+            waiter = env.event()
+            waiter.callbacks.append(lambda ev, i=index: fired.append(i))
+            env.timers.arm(2.0, waiter)
+        env.run()
+        assert fired == list(range(10))
+        assert env.timers.armed == 10
+        assert env.timers.expired == 10
+        assert env.timers.sweeps == 1  # one control event for the batch
+        assert env.timers.pending == 0
+
+    def test_cancelled_waiters_are_skipped_lazily(self):
+        env = Environment()
+        fired = []
+        waiters = []
+        for index in range(4):
+            waiter = env.event()
+            waiter.callbacks.append(lambda ev, i=index: fired.append(i))
+            env.timers.arm(1.0, waiter)
+            waiters.append(waiter)
+        waiters[1].callbacks = None  # cancel, simpy-style
+        env.run()
+        assert fired == [0, 2, 3]
+        assert env.timers.cancelled == 1
+        assert env.timers.expired == 3
+
+    def test_negative_delay_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError, match="negative"):
+            env.timers.arm(-0.1, env.event())
+
+    def test_lane_grows_past_initial_capacity(self):
+        env = Environment()
+        n = 300  # > _INITIAL_CAPACITY, forces growth/compaction
+        fired = []
+
+        def driver(env):
+            for index in range(n):
+                waiter = env.event()
+                waiter.callbacks.append(lambda ev, i=index: fired.append(i))
+                env.timers.arm(1.0, waiter)
+                yield env.pooled_timeout(0.25)
+
+        env.process(driver(env))
+        env.run()
+        assert fired == list(range(n))
+        assert env.timers.armed == n
+        assert env.timers.expired == n
+        assert env.timers.pending == 0
+
+    def test_deadline_matches_legacy_timeout_float(self):
+        # The wheel computes `env._now + delay` -- the exact float a
+        # legacy Timeout produces -- so both fire at the same instant
+        # even where decimal arithmetic would disagree.
+        env = Environment()
+        out = []
+
+        def driver(env):
+            yield env.pooled_timeout(0.1)
+            waiter = env.event()
+            waiter.callbacks.append(lambda ev: out.append(env.now))
+            env.timers.arm(0.2, waiter)
+            timeout = env.timeout(0.2)
+            timeout.callbacks.append(lambda ev: out.append(env.now))
+            yield env.pooled_timeout(1.0)
+
+        env.process(driver(env))
+        env.run()
+        assert len(out) == 2 and out[0] == out[1]
+
+    def test_now_stays_builtin_float_after_rearm(self):
+        # Sweep re-arms read deadlines out of a numpy array; env.now
+        # must stay a builtin float (np.float64 breaks json.dump).
+        env = Environment()
+        env.timers.arm(1.0, env.event())
+
+        def driver(env):
+            yield env.pooled_timeout(0.5)
+            env.timers.arm(1.0, env.event())
+
+        env.process(driver(env))
+        env.run()
+        assert env.now == 1.5
+        assert type(env.now) is float
+
+
+# ----------------------------------------------------------------------
+# environment switches
+# ----------------------------------------------------------------------
+class TestEnvSwitches:
+    def test_legacy_kernel_read_at_construction(self, monkeypatch):
+        monkeypatch.setenv(LEGACY_KERNEL_ENV, "1")
+        assert Environment().legacy_kernel is True
+        monkeypatch.setenv(LEGACY_KERNEL_ENV, "0")
+        assert Environment().legacy_kernel is False
+        monkeypatch.delenv(LEGACY_KERNEL_ENV)
+        assert Environment().legacy_kernel is False
+        # Explicit argument beats the environment.
+        monkeypatch.setenv(LEGACY_KERNEL_ENV, "1")
+        assert Environment(legacy_kernel=False).legacy_kernel is False
+
+    def test_legacy_transport_read_at_construction(self, monkeypatch):
+        monkeypatch.setenv(LEGACY_TRANSPORT_ENV, "1")
+        fabric = NetworkFabric(Environment(), streams=StreamRegistry(0))
+        assert fabric.legacy_transport is True
+        monkeypatch.delenv(LEGACY_TRANSPORT_ENV)
+        fabric = NetworkFabric(Environment(), streams=StreamRegistry(0))
+        assert fabric.legacy_transport is False
+        monkeypatch.setenv(LEGACY_TRANSPORT_ENV, "1")
+        fabric = NetworkFabric(
+            Environment(), streams=StreamRegistry(0), legacy_transport=False
+        )
+        assert fabric.legacy_transport is False
+
+    def test_telemetry_env_read_live(self, monkeypatch):
+        # The registry singleton is constructed at import, so the switch
+        # must track the environment at call time for setenv to work.
+        registry = MetricsRegistry()
+        monkeypatch.setenv(TELEMETRY_ENV, "0")
+        assert registry.enabled is False
+        registry.count("probe")
+        assert registry.snapshot()["counters"] == {}
+        monkeypatch.setenv(TELEMETRY_ENV, "1")
+        assert registry.enabled is True
+        registry.count("probe")
+        assert registry.snapshot()["counters"] == {"probe": 1.0}
+
+    def test_telemetry_override_beats_env(self, monkeypatch):
+        monkeypatch.setenv(TELEMETRY_ENV, "0")
+        assert MetricsRegistry(enabled=True).enabled is True
+        registry = MetricsRegistry()
+        registry.enabled = True  # direct assignment pins the switch
+        assert registry.enabled is True
+        monkeypatch.setenv(TELEMETRY_ENV, "1")
+        registry.enabled = False
+        assert registry.enabled is False

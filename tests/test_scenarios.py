@@ -478,6 +478,46 @@ class TestRollups:
         with pytest.raises(ValueError, match="at least one"):
             compare_scenarios([], smoke_config)
 
+    def test_all_zero_weight_rollup_is_zero(self, smoke_config):
+        # Regression: _weighted divided by the summed cell weight with
+        # no guard, so a pathological catalog whose weights collapse to
+        # zero raised ZeroDivisionError instead of rolling up to 0.0.
+        # (ScenarioCell validates weight > 0 at construction, so force
+        # the state a buggy custom Scenario could hand over.)
+        from repro.experiments.testbed import DeploymentMetrics
+
+        scenario = resolve_scenario("paper-baseline")
+        cells = scenario.cells(smoke_config)
+        for cell in cells:
+            object.__setattr__(cell, "weight", 0.0)
+        stub = DeploymentMetrics(
+            name="stub",
+            server_lags={"server-0": 1.0},
+            user_lags={"user-0": 2.0},
+            user_stale_fractions={"user-0": 0.5},
+            cost_km_kb=1.0,
+            update_messages=1,
+            light_messages=1,
+            response_messages=0,
+            provider_response_messages=0,
+            update_load_km=0.0,
+            light_load_km=0.0,
+            response_load_km=0.0,
+            request_load_km=0.0,
+            provider_update_messages=0,
+            provider_messages=0,
+        )
+        outcome = ScenarioOutcome(
+            scenario="paper-baseline", method="ttl",
+            infrastructure="unicast", kind="deployment",
+            cells=cells, metrics=[stub for _ in cells],
+        )
+        assert outcome.mean_server_lag == 0.0
+        assert outcome.mean_user_lag == 0.0
+        assert outcome.mean_stale_fraction == 0.0
+        rollup = outcome.rollup()  # must not raise
+        assert rollup["mean_user_lag"] == 0.0
+
 
 # ----------------------------------------------------------------------
 # deprecation of workload-knob plumbing
