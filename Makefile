@@ -4,8 +4,8 @@
 PYTEST := PYTHONPATH=src python -m pytest
 
 .PHONY: smoke lint lint-compile lint-repro lint-ruff typecheck \
-	test bench bench-engine bench-section4 bench-all report trace-demo \
-	scenario-smoke
+	test bench bench-engine bench-section4 bench-user-plane bench-all \
+	report trace-demo scenario-smoke scale-smoke planet-scale
 
 # Aggregate static-analysis gate.  lint-ruff and typecheck no-op with a
 # notice when ruff/mypy are not installed (offline containers); CI
@@ -49,8 +49,9 @@ scenario-smoke:
 # check_bench gates the latest entry against the trailing median (and
 # gross >3x transport regressions).  See docs/performance.md and
 # docs/observability.md.
-bench: bench-engine bench-section4
-	python benchmarks/check_bench.py BENCH_engine.json BENCH_section4.json
+bench: bench-engine bench-section4 bench-user-plane
+	python benchmarks/check_bench.py BENCH_engine.json BENCH_section4.json \
+		BENCH_user_plane.json
 
 bench-engine:
 	$(PYTEST) benchmarks/test_bench_engine.py --benchmark-only \
@@ -64,8 +65,31 @@ bench-section4:
 	python benchmarks/bench_history.py append BENCH_section4.json \
 		.bench_section4.snapshot.json
 
+bench-user-plane:
+	$(PYTEST) benchmarks/test_bench_user_plane.py --benchmark-only \
+		--benchmark-json=.bench_user_plane.snapshot.json
+	python benchmarks/bench_history.py append BENCH_user_plane.json \
+		.bench_user_plane.snapshot.json
+
 bench-all:
 	$(PYTEST) benchmarks/ --benchmark-only
+
+# Fig. 20x at CI scale: 10k servers x 100k users through the sharded
+# sweep path, with wall-clock and peak-RSS budgets asserted off the
+# telemetry rollup (same job as CI's scale-smoke).
+scale-smoke:
+	PYTHONPATH=src python -m repro sweep --methods ttl --scale planet \
+		--servers 10000 --users-per-server 10 --user-shards 4 \
+		--workers 4 --registry .scale-runs.json
+	python benchmarks/check_scale.py .scale-runs.telemetry.json \
+		--max-wall-s 420 --max-rss-kb 4000000
+
+# Opt-in planet-scale run: 100k servers x 1M users (aggregate metrics,
+# 8 user shards).  Takes minutes and a few GB of RAM; not a CI target.
+planet-scale:
+	PYTHONPATH=src python -m repro sweep --methods ttl --scale planet \
+		--servers 100000 --users-per-server 10 --user-shards 8 \
+		--workers 8 --registry .planet-runs.json
 
 report:
 	PYTHONPATH=src python examples/regenerate_experiments.py --scale small

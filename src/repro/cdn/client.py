@@ -26,7 +26,13 @@ __all__ = [
     "FixedSelector",
     "DnsSelector",
     "SwitchEveryVisitSelector",
+    "REQUEST_TIMEOUT_S",
 ]
+
+#: Default content-request timeout, shared with the vectorized cohort
+#: plane (:mod:`repro.cdn.cohort`) so both user implementations time out
+#: at exactly the same instants.
+REQUEST_TIMEOUT_S = 30.0
 
 
 @dataclass(frozen=True)
@@ -94,7 +100,7 @@ class EndUserActor(Actor):
         selector,
         user_ttl_s: float = 10.0,
         start_offset_s: float = 0.0,
-        request_timeout_s: Optional[float] = 30.0,
+        request_timeout_s: Optional[float] = REQUEST_TIMEOUT_S,
     ) -> None:
         if user_ttl_s <= 0:
             raise ValueError("user_ttl_s must be positive")

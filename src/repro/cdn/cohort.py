@@ -1,0 +1,583 @@
+"""Struct-of-arrays end-user plane (the fast kernel's cohort path).
+
+Every end user in the legacy plane is an :class:`~repro.cdn.client.EndUserActor`:
+a Python object holding a generator-based visit loop, a pending-request
+dict, an observation list and a waiter :class:`~repro.sim.engine.Event`
+per in-flight request.  At the paper's scale (850 users) that is
+invisible; at the ROADMAP's planet scale (1M+ users) the actor plane
+dominates both memory and GC time -- hundreds of thousands of live
+generator frames and per-visit allocations that the cyclic collector
+re-traverses over and over.
+
+:class:`UserCohort` replaces all of it with one object per deployment:
+
+- per-slot state (poll TTL, failed-visit count, home/last server,
+  running staleness accumulators) lives in parallel unboxed arrays --
+  numpy when importable, :mod:`array` otherwise (see
+  :data:`ARRAY_BACKEND`); every metric-facing computation is written as
+  the same scalar loop either way, so the backends are bit-identical;
+- visit deadlines live in one binary heap swept by a single reusable
+  control event (scheduled with
+  :meth:`~repro.sim.engine.Environment.schedule_at` for the exact float
+  deadline the legacy per-user pooled timeout would have used);
+- request timeouts share one monotone
+  :class:`~repro.sim.timers.CallbackLane` (all requests use the same
+  ``REQUEST_TIMEOUT_S`` delay, so deadlines arrive pre-sorted) with
+  answered requests pruned lazily;
+- observations feed the incremental staleness trackers directly -- per
+  slot in ``per-user`` mode, or through
+  :class:`~repro.metrics.incremental.AggregateUserMetrics` scalar
+  accumulators in ``aggregate`` mode (no observation retention at all).
+
+Determinism contract (the differential suite in
+``tests/test_user_plane_equivalence.py`` pins all of it):
+
+- Per-visit *network* behaviour is unchanged: the same
+  :class:`~repro.network.message.Message` objects (same global sequence
+  numbers) travel the same fabric with the same jitter draws, so
+  counters, traces and cause attribution are bit-identical to the actor
+  plane.
+- Selector RNG draws (the switch-every-visit stream) happen at the same
+  simulated instants in the same global order.
+- Visit instants are exactly the floats the actor plane computes:
+  ``response_time + ttl`` / ``timeout_time + ttl``, with the TTL read at
+  push time (so mid-run TTL perturbations apply from the next visit,
+  like the legacy ``pooled_timeout(self.user_ttl_s)`` read).
+- Same-instant visit expiries run in arming order, matching the event-id
+  order of the legacy per-user timeouts.  (With the default start-window
+  jitter, distinct users collide with probability zero; the known edge
+  is ``user_start_window_s=0``, where first visits run at t=0 after --
+  not interleaved with -- actor process inits.  The testbed never builds
+  that combination differentially.)
+
+The legacy plane stays fully supported: ``REPRO_LEGACY_USERS=1`` (or the
+legacy kernel) builds actors instead, which is how the differential
+suite drives both arms.
+"""
+
+from __future__ import annotations
+
+import os
+from array import array as _stdarray
+from heapq import heapify, heappop, heappush
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
+
+from ..metrics.incremental import AggregateUserMetrics, UserObservationTracker
+from ..network.message import Message, MessageKind
+from ..sim.engine import Environment, Event
+from ..sim.timers import CallbackLane
+from .base import RESPONSE_KINDS
+from .client import (
+    REQUEST_TIMEOUT_S,
+    FixedSelector,
+    Observation,
+    SwitchEveryVisitSelector,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from ..network.link import NetworkFabric
+    from ..network.node import NetworkNode
+    from ..sim.rng import RandomStream
+    from .content import LiveContent
+
+__all__ = [
+    "UserCohort",
+    "ARRAY_BACKEND",
+    "LEGACY_USERS_ENV",
+    "COHORT_BACKEND_ENV",
+    "legacy_users_enabled",
+]
+
+#: Environment variable selecting the legacy per-user actor plane on the
+#: fast kernel (the PR 3 / PR 7 switch pattern).  Read at build time by
+#: :func:`legacy_users_enabled`; the legacy *kernel* implies it.
+LEGACY_USERS_ENV = "REPRO_LEGACY_USERS"
+
+#: Environment variable forcing the pure-Python array backend even when
+#: numpy is importable (``REPRO_COHORT_BACKEND=array``).  Read once at
+#: import time.
+COHORT_BACKEND_ENV = "REPRO_COHORT_BACKEND"
+
+
+def legacy_users_enabled() -> bool:
+    """``True`` when the environment opts into the per-user actor plane."""
+    return os.environ.get(LEGACY_USERS_ENV, "") not in ("", "0")
+
+
+# ----------------------------------------------------------------------
+# array backends
+# ----------------------------------------------------------------------
+try:  # pragma: no cover - import guard
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-free installs
+    _np = None  # type: ignore[assignment]
+
+
+class _NumpyBackend:
+    """Unboxed per-slot storage on numpy arrays.
+
+    Scalar reads off these arrays return numpy scalars, so every caller
+    coerces with ``float()``/``int()`` before the value can reach the
+    event heap or a metrics dict -- ``Environment.now`` stays a builtin
+    float and registry JSON stays serialisable.
+    """
+
+    name = "numpy"
+
+    @staticmethod
+    def full_f(n: int, value: float) -> Any:
+        return _np.full(n, value, dtype=_np.float64)
+
+    @staticmethod
+    def zeros_i(n: int) -> Any:
+        return _np.zeros(n, dtype=_np.int64)
+
+
+class _PurePythonBackend:
+    """Same layout on :mod:`array` arrays (the numpy-free fallback)."""
+
+    name = "array"
+
+    @staticmethod
+    def full_f(n: int, value: float) -> Any:
+        return _stdarray("d", [value]) * n
+
+    @staticmethod
+    def zeros_i(n: int) -> Any:
+        return _stdarray("q", [0]) * n
+
+
+def _select_backend() -> Any:
+    if _np is None or os.environ.get(COHORT_BACKEND_ENV, "") in ("array", "python"):
+        return _PurePythonBackend
+    return _NumpyBackend
+
+
+#: The backend selected at import time.  Tests may swap this module
+#: global (or set ``REPRO_COHORT_BACKEND=array`` before import) to force
+#: the fallback; results are bit-identical either way because all
+#: arithmetic runs in scalar Python space.
+ARRAY_BACKEND = _select_backend()
+
+_INF = float("inf")
+_CONTENT_REQUEST = MessageKind.CONTENT_REQUEST
+
+
+class UserCohort:
+    """All end users of one deployment, stored column-wise.
+
+    Construction mirrors ``testbed._make_users``: *nodes* in home-server
+    -major slot order, *start_offsets* drawn per slot from the same
+    stream the actor plane uses.  Exactly one of *targets* (fixed
+    selector: the home server node per slot) or *switch_servers* +
+    *switch_stream* (the Fig. 24 switch-every-visit selector) must be
+    given.
+    """
+
+    __slots__ = (
+        "env",
+        "fabric",
+        "content",
+        "nodes",
+        "backend",
+        "user_metrics",
+        "aggregate",
+        "trackers",
+        "_ttl",
+        "_failed",
+        "_start_offsets",
+        "_fixed",
+        "_targets",
+        "_switch_servers",
+        "_switch_stream",
+        "_switch_last",
+        "_switch_view",
+        "_pending",
+        "_visit_heap",
+        "_order",
+        "_armed_event",
+        "_armed_at",
+        "_timeouts",
+        "_timeout_s",
+        "_light_kb",
+        "_observations",
+        "_views",
+        "_started",
+        "sweeps",
+        "visits_started",
+    )
+
+    def __init__(
+        self,
+        env: Environment,
+        fabric: "NetworkFabric",
+        content: "LiveContent",
+        nodes: Sequence["NetworkNode"],
+        *,
+        user_ttl_s: float,
+        start_offsets: Sequence[float],
+        targets: Optional[Sequence["NetworkNode"]] = None,
+        switch_servers: Optional[Sequence["NetworkNode"]] = None,
+        switch_stream: Optional["RandomStream"] = None,
+        user_metrics: str = "per-user",
+        request_timeout_s: float = REQUEST_TIMEOUT_S,
+    ) -> None:
+        if user_ttl_s <= 0:
+            raise ValueError("user_ttl_s must be positive")
+        if user_metrics not in ("per-user", "aggregate"):
+            raise ValueError("user_metrics must be 'per-user' or 'aggregate'")
+        n = len(nodes)
+        if len(start_offsets) != n:
+            raise ValueError("start_offsets must have one entry per node")
+        if (targets is None) == (switch_servers is None):
+            raise ValueError("give exactly one of targets / switch_servers")
+        if targets is not None and len(targets) != n:
+            raise ValueError("targets must have one entry per node")
+        if switch_servers is not None:
+            if not switch_servers:
+                raise ValueError("need at least one server")
+            if switch_stream is None:
+                raise ValueError("switch_servers requires switch_stream")
+        self.env = env
+        self.fabric = fabric
+        self.content = content
+        self.nodes = list(nodes)
+        backend = ARRAY_BACKEND
+        self.backend = backend
+        self.user_metrics = user_metrics
+        self._ttl = backend.full_f(n, user_ttl_s)
+        self._failed = backend.zeros_i(n)
+        self._start_offsets = [float(offset) for offset in start_offsets]
+        self._fixed = targets is not None
+        self._targets: List["NetworkNode"] = list(targets) if targets is not None else []
+        self._switch_servers: List["NetworkNode"] = (
+            list(switch_servers) if switch_servers is not None else []
+        )
+        self._switch_stream = switch_stream
+        self._switch_last: List[Optional["NetworkNode"]] = (
+            [None] * n if switch_servers is not None else []
+        )
+        self._switch_view: Any = None
+        #: In-flight requests: message seq -> (slot, request, target).
+        #: The request message is retained for ``msg_timeout`` trace
+        #: detail; the target for the visit traces and observations.
+        self._pending: Dict[int, Tuple[int, Message, "NetworkNode"]] = {}
+        self._visit_heap: List[Tuple[float, int, int]] = []
+        self._order = 0
+        self._armed_event: Optional[Event] = None
+        self._armed_at = _INF
+        self._timeouts = CallbackLane(env, self._on_request_timeout, self._request_done)
+        self._timeout_s = float(request_timeout_s)
+        self._light_kb = content.light_size_kb
+        #: Stats for tests / docs: control-event sweeps and visits begun.
+        self.sweeps = 0
+        self.visits_started = 0
+        if user_metrics == "aggregate":
+            times = list(content.update_times)
+            self.aggregate: Optional[AggregateUserMetrics] = AggregateUserMetrics(
+                content, n, times=times
+            )
+            self.trackers: List[UserObservationTracker] = []
+            self._observations: Optional[List[List[Tuple[float, int, str]]]] = None
+        else:
+            times = list(content.update_times)
+            self.aggregate = None
+            self.trackers = [
+                UserObservationTracker(content, times=times) for _ in range(n)
+            ]
+            self._observations = [[] for _ in range(n)]
+        self._views: Optional[List["_CohortUserView"]] = None
+        self._started = False
+        for node in self.nodes:
+            node.consumer = self._consume
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def n_users(self) -> int:
+        return len(self.nodes)
+
+    def start(self) -> None:
+        """Arm every slot's first visit (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        heap = [
+            (offset, slot, slot)
+            for slot, offset in enumerate(self._start_offsets)
+        ]
+        heapify(heap)
+        self._visit_heap = heap
+        self._order = len(heap)
+        if heap:
+            self._arm(heap[0][0])
+
+    # ------------------------------------------------------------------
+    # visit-deadline heap + control event
+    # ------------------------------------------------------------------
+    def _arm(self, deadline: float) -> None:
+        """(Re-)arm the sweep control event at *deadline*.
+
+        A superseded control event (armed later than a newly pushed
+        deadline) is lazily cancelled by clearing its callbacks -- the
+        run loop skips processed entries without counting them -- and a
+        fresh pre-triggered event takes its place, so exactly one live
+        control entry exists at any time.
+        """
+        prev = self._armed_event
+        if prev is not None and prev.callbacks is not None:
+            if self._armed_at <= deadline:
+                return
+            prev.callbacks = None
+        env = self.env
+        event = Event(env)
+        event._ok = True
+        event._value = None
+        event.callbacks = [self._sweep_visits]
+        env.schedule_at(event, deadline)
+        self._armed_event = event
+        self._armed_at = deadline
+
+    def _push_visit(self, deadline: float, slot: int) -> None:
+        order = self._order
+        self._order = order + 1
+        heappush(self._visit_heap, (deadline, order, slot))
+        self._arm(deadline)
+
+    def _sweep_visits(self, _event: Event) -> None:
+        self._armed_event = None
+        self._armed_at = _INF
+        env = self.env
+        now = env._now
+        heap = self._visit_heap
+        while heap and heap[0][0] <= now:
+            slot = heappop(heap)[2]
+            self._begin_visit(slot, now)
+        self.sweeps += 1
+        if heap:
+            self._arm(heap[0][0])
+
+    # ------------------------------------------------------------------
+    # the visit itself
+    # ------------------------------------------------------------------
+    def _begin_visit(self, slot: int, now: float) -> None:
+        node = self.nodes[slot]
+        if self._fixed:
+            target = self._targets[slot]
+        else:
+            servers = self._switch_servers
+            if len(servers) == 1:
+                target = servers[0]
+            else:
+                # Same draw loop as SwitchEveryVisitSelector.select, with
+                # the per-user ``_last`` held column-wise.
+                stream = self._switch_stream
+                assert stream is not None
+                choice = stream.choice
+                last = self._switch_last[slot]
+                while True:
+                    target = choice(servers)
+                    if target is not last:
+                        self._switch_last[slot] = target
+                        break
+        message = Message(
+            kind=_CONTENT_REQUEST,
+            src=node,
+            dst=target,
+            size_kb=self._light_kb,
+            payload={},
+        )
+        self._pending[message.seq] = (slot, message, target)
+        self.fabric.send(message)
+        self._timeouts.push(now + self._timeout_s, message.seq)
+        self.visits_started += 1
+
+    def _request_done(self, seq: int) -> bool:
+        """Dead-slot predicate for the timeout lane: answered requests
+        leave ``_pending`` at response time and are pruned lazily."""
+        return seq not in self._pending
+
+    def _on_request_timeout(self, seq: int) -> None:
+        entry = self._pending.pop(seq, None)
+        if entry is None:  # pragma: no cover - pruned before firing
+            return
+        slot, message, target = entry
+        env = self.env
+        now = env._now
+        tracer = env.tracer
+        if tracer.enabled:
+            node_id = self.nodes[slot].node_id
+            tracer.emit(now, "msg_timeout", node_id, **message.trace_detail())
+            tracer.emit(now, "visit_timeout", node_id, server=target.node_id)
+        self._failed[slot] += 1
+        self._push_visit(now + float(self._ttl[slot]), slot)
+
+    def _consume(self, message: Message) -> None:
+        """Fabric delivery hook shared by every user node of the cohort
+        (mirrors ``Actor._consume`` + the visit loop's response half)."""
+        if not message.dst.is_up:
+            return
+        if message.kind not in RESPONSE_KINDS:
+            raise NotImplementedError(
+                "UserCohort cannot handle %s" % (message.kind,)
+            )
+        payload = message.payload
+        req_seq = payload.get("req") if isinstance(payload, dict) else None
+        entry = self._pending.pop(req_seq, None) if req_seq is not None else None
+        if entry is None:
+            # No matching request (timed out / restarted): dropped,
+            # matching the actor plane's UDP-style semantics.
+            return
+        slot, _request, target = entry
+        env = self.env
+        now = env._now
+        version = message.version
+        aggregate = self.aggregate
+        if aggregate is not None:
+            aggregate.on_observe(slot, now, version)
+        else:
+            observations = self._observations
+            assert observations is not None
+            observations[slot].append((now, version, target.node_id))
+            self.trackers[slot].on_observe(now, version)
+        tracer = env.tracer
+        if tracer.enabled:
+            tracer.emit(
+                now, "visit", message.dst.node_id,
+                server=target.node_id, version=version,
+            )
+        self._push_visit(now + float(self._ttl[slot]), slot)
+
+    # ------------------------------------------------------------------
+    # actor-shaped access (tests, perturbations, legacy collect)
+    # ------------------------------------------------------------------
+    @property
+    def users(self) -> List["_CohortUserView"]:
+        """Actor-shaped views, one per slot (built lazily, cached)."""
+        views = self._views
+        if views is None:
+            if not self._fixed and self._switch_view is None:
+                self._switch_view = _CohortSwitchSelector(self)
+            views = self._views = [
+                _CohortUserView(self, slot) for slot in range(len(self.nodes))
+            ]
+        return views
+
+    def observations_of(self, slot: int) -> List[Observation]:
+        """Materialise slot observations as :class:`Observation` objects
+        (per-user mode only; aggregate mode retains no observations)."""
+        observations = self._observations
+        if observations is None:
+            raise RuntimeError(
+                "observations are not retained in aggregate user-metrics "
+                "mode; use user_metrics='per-user' to keep per-visit logs"
+            )
+        return [
+            Observation(time=time, version=version, server_id=server_id)
+            for time, version, server_id in observations[slot]
+        ]
+
+    def failed_visits_of(self, slot: int) -> int:
+        return int(self._failed[slot])
+
+    def total_failed_visits(self) -> int:
+        return int(sum(self._failed))
+
+    def total_observations(self) -> int:
+        if self.aggregate is not None:
+            return int(sum(self.aggregate._total))
+        observations = self._observations
+        assert observations is not None
+        return sum(len(slot_obs) for slot_obs in observations)
+
+
+class _CohortFixedSelector(FixedSelector):
+    """Per-slot write-through view of a cohort's fixed selector.
+
+    ``isinstance(selector, FixedSelector)`` holds (the Reconfiguration
+    perturbation filters on it) and assigning ``selector.server``
+    re-homes the slot inside the cohort arrays.
+    """
+
+    def __init__(self, cohort: UserCohort, slot: int) -> None:
+        # Deliberately no super().__init__: ``server`` is a property.
+        self._cohort = cohort
+        self._slot = slot
+
+    @property
+    def server(self) -> "NetworkNode":
+        return self._cohort._targets[self._slot]
+
+    @server.setter
+    def server(self, node: "NetworkNode") -> None:
+        self._cohort._targets[self._slot] = node
+
+    def select(self, user: "NetworkNode", now: float, visit_index: int) -> "NetworkNode":
+        return self._cohort._targets[self._slot]
+
+
+class _CohortSwitchSelector(SwitchEveryVisitSelector):
+    """Shared view of a switch-mode cohort's selector state.
+
+    ``servers`` aliases the cohort's own list, so mutating it through
+    the view changes every slot's candidate set, like the shared-list
+    aliasing of the actor plane.  Per-slot ``_last`` state stays in the
+    cohort arrays; this view's own ``_last`` is unused.
+    """
+
+    def __init__(self, cohort: UserCohort) -> None:
+        stream = cohort._switch_stream
+        assert stream is not None
+        self.servers = cohort._switch_servers
+        self.stream = stream
+        self._last = None
+
+
+class _CohortUserView:
+    """Read-mostly actor-shaped view of one cohort slot.
+
+    Exposes the ``EndUserActor`` surface that tests and perturbations
+    touch: ``node``, ``selector``, ``observations``, ``failed_visits``,
+    a writable ``user_ttl_s`` (FlashCrowd / DiurnalModulation write it
+    mid-run) and a no-op ``start`` (the cohort manages its own timers).
+    """
+
+    __slots__ = ("_cohort", "_slot", "node", "content", "selector")
+
+    def __init__(self, cohort: UserCohort, slot: int) -> None:
+        self._cohort = cohort
+        self._slot = slot
+        self.node = cohort.nodes[slot]
+        self.content = cohort.content
+        if cohort._fixed:
+            self.selector: Any = _CohortFixedSelector(cohort, slot)
+        else:
+            self.selector = cohort._switch_view
+
+    @property
+    def user_ttl_s(self) -> float:
+        return float(self._cohort._ttl[self._slot])
+
+    @user_ttl_s.setter
+    def user_ttl_s(self, value: float) -> None:
+        if value <= 0:
+            raise ValueError("user_ttl_s must be positive")
+        # Applies from the slot's next deadline push, exactly like the
+        # actor plane's per-visit ``pooled_timeout(self.user_ttl_s)`` read.
+        self._cohort._ttl[self._slot] = value
+
+    @property
+    def start_offset_s(self) -> float:
+        return self._cohort._start_offsets[self._slot]
+
+    @property
+    def failed_visits(self) -> int:
+        return self._cohort.failed_visits_of(self._slot)
+
+    @property
+    def observations(self) -> List[Observation]:
+        return self._cohort.observations_of(self._slot)
+
+    def start(self) -> None:
+        """No-op: cohort slots are started by :meth:`UserCohort.start`."""

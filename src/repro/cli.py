@@ -178,7 +178,31 @@ def build_parser() -> argparse.ArgumentParser:
         "'repro scenario list'); catalog scenarios expand into one run "
         "per object cell",
     )
-    sweep.add_argument("--scale", choices=("smoke", "ci", "paper"), default="smoke")
+    sweep.add_argument(
+        "--scale", choices=("smoke", "ci", "paper", "planet"), default="smoke",
+        help="base config scale; 'planet' uses aggregate user metrics "
+        "and Section-5 cadence (see docs/scalability.md)",
+    )
+    sweep.add_argument(
+        "--servers", type=int, default=None, metavar="N",
+        help="override the scale's server count",
+    )
+    sweep.add_argument(
+        "--users-per-server", type=int, default=None, metavar="N",
+        help="override the scale's users-per-server count",
+    )
+    sweep.add_argument(
+        "--user-shards", type=int, default=1, metavar="K",
+        help="split each cell's user population over K shard runs "
+        "(requires --user-metrics aggregate; shard metrics merge "
+        "exactly back into one row)",
+    )
+    sweep.add_argument(
+        "--user-metrics", choices=("per-user", "aggregate"), default=None,
+        help="user-metrics layout (default: the scale's; 'aggregate' "
+        "keys user metrics by home server and is required for "
+        "--user-shards > 1)",
+    )
     _add_runner_arguments(sweep)
 
     scenario = sub.add_parser(
@@ -426,10 +450,24 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from .experiments.config import ci_scale, paper_scale, smoke_scale
+    from .experiments.config import ci_scale, paper_scale, planet_scale, smoke_scale
     from .runner import Runner, RunSpec
 
-    base = {"smoke": smoke_scale, "ci": ci_scale, "paper": paper_scale}[args.scale]()
+    base = {
+        "smoke": smoke_scale,
+        "ci": ci_scale,
+        "paper": paper_scale,
+        "planet": planet_scale,
+    }[args.scale]()
+    size_overrides = {}
+    if args.servers is not None:
+        size_overrides["n_servers"] = args.servers
+    if args.users_per_server is not None:
+        size_overrides["users_per_server"] = args.users_per_server
+    if args.user_metrics is not None:
+        size_overrides["user_metrics"] = args.user_metrics
+    if size_overrides:
+        base = base.with_overrides(**size_overrides)
     ttls = args.server_ttls if args.server_ttls else [base.server_ttl_s]
 
     # No --scenarios keeps the legacy spec shape (default scenario, not
@@ -480,11 +518,33 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                             )
 
     runner = Runner(workers=args.workers, registry=args.registry)
-    outcome = runner.run(specs)
+    if args.user_shards > 1:
+        from .experiments.sharding import (
+            merge_shard_metrics,
+            shard_specs,
+            shard_user_counts,
+        )
+
+        weights = shard_user_counts(base.users_per_server, args.user_shards)
+        expanded = [shard_specs(spec, args.user_shards) for spec in specs]
+        outcome = runner.run(
+            [shard for cell in expanded for shard in cell]
+        )
+        rows = []
+        cursor = 0
+        for spec, cell in zip(specs, expanded):
+            merged = merge_shard_metrics(
+                outcome.metrics[cursor : cursor + len(cell)], weights
+            )
+            cursor += len(cell)
+            rows.append((spec, merged))
+    else:
+        outcome = runner.run(specs)
+        rows = outcome.pairs()
 
     header = ("spec", "ttl_s", "server_lag_s", "user_lag_s", "cost_km_kb")
     print("%-48s %8s %14s %12s %14s" % header)
-    for spec, metrics in outcome.pairs():
+    for spec, metrics in rows:
         print(
             "%-48s %8g %14.3f %12.3f %14.4g"
             % (

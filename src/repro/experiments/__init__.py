@@ -1,8 +1,10 @@
 """Experiment drivers: one function per paper figure, plus the testbed
 builder and the EXPERIMENTS.md report generator."""
 
-from .config import TestbedConfig, ci_scale, paper_scale, smoke_scale
+from .config import TestbedConfig, ci_scale, paper_scale, planet_scale, smoke_scale
+from .planet import fig20x_planet_scale
 from .report import ReportScale, generate_report
+from .sharding import merge_shard_metrics, shard_specs, shard_user_counts
 from .result import FigureResult
 from .section3 import (
     Section3Context,
@@ -53,6 +55,11 @@ __all__ = [
     "paper_scale",
     "ci_scale",
     "smoke_scale",
+    "planet_scale",
+    "fig20x_planet_scale",
+    "shard_specs",
+    "shard_user_counts",
+    "merge_shard_metrics",
     "Deployment",
     "DeploymentMetrics",
     "build_deployment",

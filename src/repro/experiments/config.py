@@ -18,7 +18,7 @@ import warnings
 from dataclasses import dataclass, fields, replace
 from typing import Optional
 
-__all__ = ["TestbedConfig", "paper_scale", "ci_scale", "smoke_scale"]
+__all__ = ["TestbedConfig", "paper_scale", "ci_scale", "smoke_scale", "planet_scale"]
 
 #: Workload-shape knobs whose override-plumbing is deprecated in favour
 #: of scenarios (:mod:`repro.scenarios`): a scenario owns the update
@@ -69,6 +69,20 @@ class TestbedConfig:
     #: visits a different random server every visit (the Fig. 24 scenario).
     user_selector: str = "fixed"
 
+    # --- planet-scale user plane (see docs/scalability.md) -----------------
+    #: "per-user": per-user observation logs, trackers and metrics-dict
+    #: entries (the legacy layout).  "aggregate": O(1)-per-user scalar
+    #: accumulators, metrics grouped by home server at collection --
+    #: required for sharded merges; per-visit observations are not
+    #: retained.
+    user_metrics: str = "per-user"
+    #: Deterministic population sharding: this run simulates only the
+    #: users whose per-server index u satisfies u % user_shards ==
+    #: user_shard, against the full (identical) server plane.  Shard
+    #: metrics merge exactly via repro.experiments.sharding.
+    user_shards: int = 1
+    user_shard: int = 0
+
     # --- run --------------------------------------------------------------
     horizon_s: Optional[float] = None  # default: update_start + duration + slack
     seed: int = 0
@@ -84,6 +98,12 @@ class TestbedConfig:
             raise ValueError("TTLs must be positive")
         if self.user_selector not in ("fixed", "switch"):
             raise ValueError("user_selector must be 'fixed' or 'switch'")
+        if self.user_metrics not in ("per-user", "aggregate"):
+            raise ValueError("user_metrics must be 'per-user' or 'aggregate'")
+        if self.user_shards < 1:
+            raise ValueError("user_shards must be >= 1")
+        if not 0 <= self.user_shard < self.user_shards:
+            raise ValueError("user_shard must be in [0, user_shards)")
 
     @property
     def run_horizon_s(self) -> float:
@@ -159,6 +179,28 @@ def smoke_scale(**overrides) -> TestbedConfig:
         n_updates=12,
         game_duration_s=400.0,
         hat_clusters=3,
+    )
+    defaults.update(overrides)
+    return TestbedConfig(**defaults)
+
+
+def planet_scale(**overrides) -> TestbedConfig:
+    """Fig. 20x planet-scale defaults (see docs/scalability.md).
+
+    A short, Section-5-cadenced workload (20 updates over 5 minutes,
+    60 s TTLs -> ~10 visits per user) with aggregate user metrics, so
+    wall time and memory scale with the population instead of with
+    per-user bookkeeping.  Size knobs (``n_servers``,
+    ``users_per_server``, ``user_shards``) are supplied per run.
+    """
+    defaults = dict(
+        n_servers=10_000,
+        users_per_server=50,
+        n_updates=20,
+        game_duration_s=300.0,
+        server_ttl_s=60.0,
+        user_ttl_s=60.0,
+        user_metrics="aggregate",
     )
     defaults.update(overrides)
     return TestbedConfig(**defaults)

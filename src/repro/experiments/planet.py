@@ -1,0 +1,117 @@
+"""Fig. 20x: the network-size sweep extended to planet scale.
+
+Fig. 20 stops at 850 servers -- the paper's PlanetLab ceiling.  This
+driver keeps going: the struct-of-arrays user cohort
+(:mod:`repro.cdn.cohort`) plus aggregate user metrics make 10k servers
+x 500k users a CI-scale run, and deterministic population sharding
+(:mod:`repro.experiments.sharding`) spreads the user plane across
+Runner workers with an exact merge, so 100k servers x 1M users fits a
+workstation (the opt-in ``make planet-scale`` target).
+
+Beyond the consistency series (does Fig. 20's TTL-flat / Push-grows
+shape hold three orders of magnitude past the paper's testbed?), the
+driver records the harness-performance series the scalability docs
+track: simulated users per wall-clock second and peak RSS per sweep
+point.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..obs.telemetry import profiled
+from ..runner import Runner, RunSpec, run_specs
+from .config import TestbedConfig, planet_scale
+from .result import FigureResult
+from .sharding import merge_shard_metrics, shard_specs, shard_user_counts
+
+__all__ = ["fig20x_planet_scale"]
+
+
+@profiled("driver.fig20x")
+def fig20x_planet_scale(
+    config: Optional[TestbedConfig] = None,
+    n_servers: Sequence[int] = (1_000, 10_000),
+    methods: Sequence[str] = ("ttl", "push"),
+    user_shards: int = 1,
+    runner: Optional[Runner] = None,
+) -> FigureResult:
+    """Fig. 20x: mean server/user inconsistency vs planet-scale N.
+
+    *config* defaults to :func:`planet_scale` (aggregate user metrics,
+    Section-5 cadence); pass ``users_per_server`` etc. through it.
+    With ``user_shards > 1`` every sweep cell expands into that many
+    shard specs, run through *runner*'s worker pool and folded back
+    with the exact merge algebra -- one size's batch at a time, so the
+    recorded throughput and peak RSS describe that size alone.
+    """
+    base = config if config is not None else planet_scale()
+    if user_shards > 1 and base.user_metrics != "aggregate":
+        base = base.with_overrides(user_metrics="aggregate")
+    weights = shard_user_counts(base.users_per_server, user_shards)
+
+    lag_series: Dict[str, Dict[int, float]] = {m: {} for m in methods}
+    user_lag_series: Dict[str, Dict[int, float]] = {m: {} for m in methods}
+    users_per_s: Dict[int, float] = {}
+    events_per_s: Dict[int, float] = {}
+    peak_rss_kb: Dict[int, int] = {}
+    wall_s: Dict[int, float] = {}
+    batch_stats = []
+    for n in n_servers:
+        specs: List[RunSpec] = []
+        spans: List[int] = []  # shards-per-method, to unflatten
+        for method in methods:
+            cell = shard_specs(
+                RunSpec(config=base.with_overrides(n_servers=n), method=method),
+                user_shards,
+            )
+            spans.append(len(cell))
+            specs.extend(cell)
+        outcome = run_specs(specs, runner)
+        batch_stats.append(outcome.stats)
+        cursor = 0
+        for method, span in zip(methods, spans):
+            merged = merge_shard_metrics(
+                outcome.metrics[cursor : cursor + span], weights[:span]
+            )
+            cursor += span
+            lag_series[method][n] = merged.mean_server_lag
+            user_lag_series[method][n] = merged.mean_user_lag
+        wall = outcome.stats.wall_time_s
+        simulated_users = n * base.users_per_server * len(methods)
+        wall_s[n] = wall
+        users_per_s[n] = simulated_users / wall if wall > 0 else 0.0
+        events_per_s[n] = outcome.stats.events_per_s
+        peak_rss_kb[n] = outcome.stats.peak_rss_kb
+
+    largest = max(n_servers)
+    return FigureResult(
+        name="fig20x",
+        params={
+            "n_servers": list(n_servers),
+            "methods": list(methods),
+            "users_per_server": base.users_per_server,
+            "user_shards": user_shards,
+            "user_metrics": base.user_metrics,
+        },
+        series={
+            "server_lag": lag_series,
+            "user_lag": user_lag_series,
+            "users_per_s": users_per_s,
+            "events_per_s": events_per_s,
+            "peak_rss_kb": peak_rss_kb,
+            "wall_s": wall_s,
+        },
+        summary={
+            "max_users": largest * base.users_per_server,
+            "users_per_s": users_per_s[largest],
+            "peak_rss_kb": peak_rss_kb[largest],
+            **{
+                "%s.lag_growth" % m: (
+                    lag_series[m][largest] - lag_series[m][min(n_servers)]
+                )
+                for m in methods
+            },
+        },
+        stats=batch_stats[-1],
+    )

@@ -1,0 +1,196 @@
+"""Deterministic user-population sharding for planet-scale runs.
+
+A sharded run splits the *user* population of one deployment across
+``user_shards`` independent simulations: shard ``k`` simulates exactly
+the users whose per-server index ``u`` satisfies ``u % user_shards ==
+k``, against the full server plane.  Server/provider placement draws
+precede user draws on every RNG stream, so all shards agree on the
+server plane; user node ids keep the global index
+(``server-3-user-7`` names the same logical user in every sharding).
+
+The merge algebra here is *exact* in the same sense as the runner's
+result merging (PR 5): merging the per-shard metrics is a pure,
+deterministic fold in shard order, so ``merge(workers=N)`` over a set
+of shard specs is bit-identical to ``merge(workers=1)`` over the same
+specs -- distribution never changes the numbers.  Traffic and load
+counters sum across shards (each shard's server plane carries its own
+refresh traffic, so sums count the shared server<->provider plane once
+per shard -- documented, not hidden); per-server consistency metrics
+average across shards.
+
+Sharding with more than one shard requires ``user_metrics="aggregate"``:
+aggregate mode keys user metrics by home server, giving every shard the
+same key set so the weighted merge below is well defined (per-user keys
+would also be disjoint-unionable, but the whole point of sharding is to
+not materialise per-user state).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Sequence
+
+from ..obs.counters import staleness_histogram
+from ..runner.spec import RunSpec
+from .testbed import DeploymentMetrics
+
+__all__ = ["shard_specs", "shard_user_counts", "merge_shard_metrics"]
+
+
+def shard_specs(spec: RunSpec, user_shards: int) -> List[RunSpec]:
+    """Expand *spec* into one :class:`RunSpec` per user shard.
+
+    Each shard spec shares every knob with *spec* except
+    ``config.user_shards`` / ``config.user_shard``.  Requires
+    ``user_metrics="aggregate"`` when ``user_shards > 1`` (see module
+    docstring).
+    """
+    if user_shards < 1:
+        raise ValueError("user_shards must be >= 1")
+    if user_shards == 1:
+        return [spec]
+    if spec.config.user_metrics != "aggregate":
+        raise ValueError(
+            "sharded runs require user_metrics='aggregate' (got %r): "
+            "aggregate mode keys user metrics by home server so shard "
+            "metrics merge exactly" % spec.config.user_metrics
+        )
+    if spec.config.user_shards != 1:
+        raise ValueError(
+            "spec is already sharded (user_shards=%d); expand an "
+            "unsharded spec" % spec.config.user_shards
+        )
+    return [
+        replace(
+            spec,
+            config=spec.config.with_overrides(
+                user_shards=user_shards, user_shard=shard
+            ),
+        )
+        for shard in range(user_shards)
+    ]
+
+
+def shard_user_counts(users_per_server: int, user_shards: int) -> List[int]:
+    """Users-per-server carried by each shard (the merge weights)."""
+    if users_per_server < 0:
+        raise ValueError("users_per_server must be >= 0")
+    if user_shards < 1:
+        raise ValueError("user_shards must be >= 1")
+    counts = [0] * user_shards
+    for index in range(users_per_server):
+        counts[index % user_shards] += 1
+    return counts
+
+
+def merge_shard_metrics(
+    metrics: Sequence[DeploymentMetrics],
+    user_counts: Sequence[int],
+) -> DeploymentMetrics:
+    """Fold per-shard metrics into one rollup, deterministically.
+
+    *user_counts* gives each shard's users-per-server weight (from
+    :func:`shard_user_counts`).  All sums and weighted means accumulate
+    in shard order, so the result is bit-identical no matter how the
+    shard runs themselves were scheduled.
+
+    - counters, loads, traffic, ``events_processed``: summed;
+    - ``server_lags``: per-server mean over shards (each shard runs its
+      own copy of the server plane);
+    - ``user_lags`` / ``user_stale_fractions`` (keyed by home server in
+      aggregate mode): per-key weighted mean, weights = *user_counts*;
+    - staleness histogram: recomputed from the merged ``server_lags``.
+    """
+    if not metrics:
+        raise ValueError("need at least one shard's metrics")
+    if len(user_counts) != len(metrics):
+        raise ValueError(
+            "got %d metrics but %d user counts" % (len(metrics), len(user_counts))
+        )
+    first = metrics[0]
+    if len(metrics) == 1:
+        return first
+    server_keys = list(first.server_lags)
+    for m in metrics[1:]:
+        if list(m.server_lags) != server_keys:
+            raise ValueError(
+                "shards disagree on the server plane (%r vs %r): not "
+                "shards of one deployment" % (m.name, first.name)
+            )
+
+    n_shards = len(metrics)
+    server_lags: Dict[str, float] = {}
+    for key in server_keys:
+        total = 0.0
+        for m in metrics:
+            total += m.server_lags[key]
+        server_lags[key] = total / n_shards
+
+    user_lags: Dict[str, float] = {}
+    user_stale: Dict[str, float] = {}
+    user_keys: List[str] = []
+    seen = set()
+    for m, weight in zip(metrics, user_counts):
+        if weight <= 0:
+            continue
+        for key in m.user_lags:
+            if key not in seen:
+                seen.add(key)
+                user_keys.append(key)
+    for key in user_keys:
+        lag_sum = 0.0
+        stale_sum = 0.0
+        weight_sum = 0
+        for m, weight in zip(metrics, user_counts):
+            if weight <= 0 or key not in m.user_lags:
+                continue
+            lag_sum += weight * m.user_lags[key]
+            stale_sum += weight * m.user_stale_fractions[key]
+            weight_sum += weight
+        if weight_sum:
+            user_lags[key] = lag_sum / weight_sum
+            user_stale[key] = stale_sum / weight_sum
+
+    message_counts: Dict[str, int] = {}
+    link_bytes_kb: Dict[str, float] = {}
+    for m in metrics:
+        for key, count in m.message_counts.items():
+            message_counts[key] = message_counts.get(key, 0) + count
+        for key, kb in m.link_bytes_kb.items():
+            link_bytes_kb[key] = link_bytes_kb.get(key, 0.0) + kb
+
+    edges, counts = staleness_histogram(list(server_lags.values()))
+    return DeploymentMetrics(
+        name="%s[merged x%d]" % (first.name, n_shards),
+        server_lags=server_lags,
+        user_lags=user_lags,
+        user_stale_fractions=user_stale,
+        cost_km_kb=sum(m.cost_km_kb for m in metrics),
+        update_messages=sum(m.update_messages for m in metrics),
+        light_messages=sum(m.light_messages for m in metrics),
+        response_messages=sum(m.response_messages for m in metrics),
+        provider_response_messages=sum(
+            m.provider_response_messages for m in metrics
+        ),
+        update_load_km=sum(m.update_load_km for m in metrics),
+        light_load_km=sum(m.light_load_km for m in metrics),
+        response_load_km=sum(m.response_load_km for m in metrics),
+        request_load_km=sum(m.request_load_km for m in metrics),
+        provider_update_messages=sum(
+            m.provider_update_messages for m in metrics
+        ),
+        provider_messages=sum(m.provider_messages for m in metrics),
+        events_processed=sum(m.events_processed for m in metrics),
+        message_counts=message_counts,
+        dropped_messages=sum(m.dropped_messages for m in metrics),
+        isp_crossing_messages=sum(m.isp_crossing_messages for m in metrics),
+        isp_crossing_kb=sum(m.isp_crossing_kb for m in metrics),
+        isp_penalty_s=sum(m.isp_penalty_s for m in metrics),
+        propagation_s=sum(m.propagation_s for m in metrics),
+        queueing_s=sum(m.queueing_s for m in metrics),
+        link_bytes_kb=link_bytes_kb,
+        node_downtime_s=sum(m.node_downtime_s for m in metrics),
+        down_transitions=sum(m.down_transitions for m in metrics),
+        staleness_hist_edges=edges,
+        staleness_hist_counts=counts,
+    )

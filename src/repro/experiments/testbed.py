@@ -16,12 +16,15 @@ Two entry points:
 
 from __future__ import annotations
 
+import os
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..cdn.client import EndUserActor, FixedSelector, SwitchEveryVisitSelector
+from ..cdn.cohort import UserCohort, legacy_users_enabled
 from ..cdn.content import LiveContent
 from ..cdn.provider import ProviderActor
 from ..cdn.server import ServerActor
@@ -36,7 +39,12 @@ from ..metrics.consistency import (
     mean_update_lag,
     stale_observation_fraction,
 )
-from ..metrics.incremental import ServerLagTracker, UserObservationTracker
+from ..metrics.incremental import (
+    AggregateUserMetrics,
+    ServerLagTracker,
+    UserObservationTracker,
+    aggregate_user_rollup,
+)
 from ..metrics.timeseries import StalenessSeries, StalenessSeriesCache
 from ..metrics.traffic import TrafficLedger
 from ..network.link import NetworkFabric
@@ -186,7 +194,8 @@ class Deployment:
         content: LiveContent,
         provider: ProviderActor,
         servers: List[ServerActor],
-        users: List[EndUserActor],
+        users: Sequence[EndUserActor],
+        cohort: Optional[UserCohort] = None,
     ) -> None:
         self.name = name
         self.config = config
@@ -196,7 +205,10 @@ class Deployment:
         self.content = content
         self.provider = provider
         self.servers = servers
-        self.users = users
+        #: The vectorized user plane, or ``None`` when per-user actors
+        #: carry the population (legacy kernel / REPRO_LEGACY_USERS).
+        self.cohort = cohort
+        self._users: Optional[Sequence] = list(users) if cohort is None else None
         self._ran = False
         #: Memoized staleness-series derivations (keyed by replica and
         #: apply-log length, so entries self-invalidate on new applies).
@@ -206,15 +218,36 @@ class Deployment:
         #: pass is a cheap read instead of a full log re-scan.
         self._server_trackers: Dict[str, ServerLagTracker] = {}
         self._user_trackers: Dict[str, UserObservationTracker] = {}
+        #: Aggregate user metrics on the *actor* plane (a cohort owns
+        #: its own accumulators instead).
+        self._user_aggregate: Optional[AggregateUserMetrics] = None
         if not env.legacy_kernel:
             for server in servers:
                 tracker = ServerLagTracker(content)
                 self._server_trackers[server.node.node_id] = tracker
                 server.on_apply_hooks.append(self._apply_hook(tracker))
-            for user in users:
-                user_tracker = UserObservationTracker(content)
-                self._user_trackers[user.node.node_id] = user_tracker
-                user.on_observation = user_tracker.observe
+            if cohort is not None:
+                pass  # the cohort maintains its own trackers/aggregates
+            elif config.user_metrics == "aggregate":
+                aggregate = AggregateUserMetrics(content, len(users))
+                self._user_aggregate = aggregate
+                for slot, user in enumerate(users):
+                    user.on_observation = aggregate.observer(slot)
+            else:
+                for user in users:
+                    user_tracker = UserObservationTracker(content)
+                    self._user_trackers[user.node.node_id] = user_tracker
+                    user.on_observation = user_tracker.observe
+
+    @property
+    def users(self) -> Sequence:
+        """The user plane: actors, or actor-shaped cohort views (built
+        lazily -- planet-scale collection never materialises them)."""
+        users = self._users
+        if users is None:
+            assert self.cohort is not None
+            users = self._users = self.cohort.users
+        return users
 
     def _apply_hook(self, tracker: ServerLagTracker):
         env = self.env
@@ -232,8 +265,11 @@ class Deployment:
         horizon = horizon_s if horizon_s is not None else self.config.run_horizon_s
         for server in self.servers:
             server.start()
-        for user in self.users:
-            user.start()
+        if self.cohort is not None:
+            self.cohort.start()
+        else:
+            for user in self.users:
+                user.start()
         self.env.run(until=horizon)
         with span("deployment.collect"):
             return self._collect(horizon)
@@ -242,8 +278,11 @@ class Deployment:
         yield self.provider.node
         for server in self.servers:
             yield server.node
-        for user in self.users:
-            yield user.node
+        if self.cohort is not None:
+            yield from self.cohort.nodes
+        else:
+            for user in self.users:
+                yield user.node
 
     # ------------------------------------------------------------------
     # cached staleness series (see repro.metrics.timeseries)
@@ -289,15 +328,35 @@ class Deployment:
         )
         user_lags: Dict[str, float] = {}
         stale: Dict[str, float] = {}
+        cohort = self.cohort
         if not self.env.legacy_kernel:
             # Fast kernel: read the incrementally-maintained state.
             server_lags = {
                 server_id: tracker.mean_lag(horizon)
                 for server_id, tracker in self._server_trackers.items()
             }
-            for user_id, user_tracker in self._user_trackers.items():
-                user_lags[user_id] = user_tracker.mean_lag(horizon)
-                stale[user_id] = user_tracker.stale_fraction()
+            if cohort is not None:
+                if cohort.aggregate is not None:
+                    user_lags, stale = aggregate_user_rollup(
+                        cohort.aggregate,
+                        [node.node_id for node in cohort.nodes],
+                        horizon,
+                    )
+                else:
+                    for slot, node in enumerate(cohort.nodes):
+                        user_tracker = cohort.trackers[slot]
+                        user_lags[node.node_id] = user_tracker.mean_lag(horizon)
+                        stale[node.node_id] = user_tracker.stale_fraction()
+            elif self._user_aggregate is not None:
+                user_lags, stale = aggregate_user_rollup(
+                    self._user_aggregate,
+                    [user.node.node_id for user in self.users],
+                    horizon,
+                )
+            else:
+                for user_id, user_tracker in self._user_trackers.items():
+                    user_lags[user_id] = user_tracker.mean_lag(horizon)
+                    stale[user_id] = user_tracker.stale_fraction()
         else:
             # Legacy kernel: re-derive everything from the full logs.
             server_lags = {
@@ -306,14 +365,29 @@ class Deployment:
                 )
                 for server in self.servers
             }
-            for user in self.users:
-                log = [(obs.time, obs.version) for obs in user.observations]
-                user_lags[user.node.node_id] = mean_update_lag(
-                    self.content, log, censor_at=horizon
+            if self.config.user_metrics == "aggregate":
+                # Replay the observation logs through the same aggregate
+                # accumulators the fast planes feed online, so all three
+                # arms produce one metrics layout.
+                users = list(self.users)
+                aggregate = AggregateUserMetrics(self.content, len(users))
+                for slot, user in enumerate(users):
+                    for obs in user.observations:
+                        aggregate.on_observe(slot, obs.time, obs.version)
+                user_lags, stale = aggregate_user_rollup(
+                    aggregate,
+                    [user.node.node_id for user in users],
+                    horizon,
                 )
-                stale[user.node.node_id] = stale_observation_fraction(
-                    user.observations
-                )
+            else:
+                for user in self.users:
+                    log = [(obs.time, obs.version) for obs in user.observations]
+                    user_lags[user.node.node_id] = mean_update_lag(
+                        self.content, log, censor_at=horizon
+                    )
+                    stale[user.node.node_id] = stale_observation_fraction(
+                        user.observations
+                    )
         hist_edges, hist_counts = staleness_histogram(list(server_lags.values()))
         return DeploymentMetrics(
             name=self.name,
@@ -387,8 +461,24 @@ class _Placement:
     path_cache: Dict
 
 
-_PLACEMENT_CACHE: Dict[tuple, _Placement] = {}
+#: Memoized placements, LRU-ordered (most recently used last).  The
+#: capacity is env-tunable: sweeps cycling through more shapes than the
+#: default (e.g. a wide Fig. 20x size axis crossed with many population
+#: shards) would otherwise thrash; ``REPRO_PLACEMENT_CACHE=0`` disables
+#: caching entirely.  Read at each insertion, so tests can retune it.
+_PLACEMENT_CACHE: "OrderedDict[tuple, _Placement]" = OrderedDict()
 _PLACEMENT_CACHE_MAX = 32
+PLACEMENT_CACHE_ENV = "REPRO_PLACEMENT_CACHE"
+
+
+def _placement_cache_max() -> int:
+    raw = os.environ.get(PLACEMENT_CACHE_ENV, "")
+    if not raw:
+        return _PLACEMENT_CACHE_MAX
+    try:
+        return int(raw)
+    except ValueError:
+        return _PLACEMENT_CACHE_MAX
 
 
 def _snapshot_node(node: NetworkNode) -> _NodeSpec:
@@ -425,13 +515,21 @@ def _placed_topology(env: Environment, streams: StreamRegistry, config: TestbedC
             n_servers=config.n_servers,
             users_per_server=config.users_per_server,
             provider_city=config.provider_city,
+            user_shards=config.user_shards,
+            user_shard=config.user_shard,
         )
         return topology, None
+    # Population shards are part of the key: shards share (seed, shape)
+    # but place different user subsets, so a shard-blind key would both
+    # return the wrong users and make a round-robin over shards evict
+    # pathologically.
     key = (
         config.seed,
         config.n_servers,
         config.users_per_server,
         config.provider_city,
+        config.user_shards,
+        config.user_shard,
     )
     placement = _PLACEMENT_CACHE.get(key)
     if placement is None:
@@ -440,6 +538,8 @@ def _placed_topology(env: Environment, streams: StreamRegistry, config: TestbedC
             n_servers=config.n_servers,
             users_per_server=config.users_per_server,
             provider_city=config.provider_city,
+            user_shards=config.user_shards,
+            user_shard=config.user_shard,
         )
         placement = _Placement(
             provider=_snapshot_node(topology.provider),
@@ -450,13 +550,17 @@ def _placed_topology(env: Environment, streams: StreamRegistry, config: TestbedC
             ),
             path_cache={},
         )
-        if len(_PLACEMENT_CACHE) >= _PLACEMENT_CACHE_MAX:
-            _PLACEMENT_CACHE.pop(next(iter(_PLACEMENT_CACHE)))
+        max_entries = _placement_cache_max()
+        if max_entries <= 0:
+            return topology, placement.path_cache
+        while len(_PLACEMENT_CACHE) >= max_entries:
+            _PLACEMENT_CACHE.popitem(last=False)
         _PLACEMENT_CACHE[key] = placement
         return topology, placement.path_cache
     # Cache hit: rebuild nodes without touching the placement streams.
     # Nothing else ever draws from topology.place / topology.isp, so
     # later stream consumers see identical RNG state either way.
+    _PLACEMENT_CACHE.move_to_end(key)
     topology = Topology(
         provider=_spawn_node(env, placement.provider),
         servers=[_spawn_node(env, spec) for spec in placement.servers],
@@ -577,10 +681,48 @@ def _make_users(
     content: LiveContent,
     topology: Topology,
     server_of_node: Dict[str, ServerActor],
-) -> List[EndUserActor]:
+) -> Tuple[Sequence[EndUserActor], Optional[UserCohort]]:
+    """Build the user plane: a :class:`UserCohort` on the fast kernel,
+    or per-user actors under the legacy kernel / ``REPRO_LEGACY_USERS``.
+
+    Both planes draw the start offsets (and, lazily, the switch-selector
+    targets) from the same streams in the same server-major order, so
+    the arms are RNG-identical.  Returns ``(users, cohort)``; ``users``
+    is empty when a cohort carries the population (read
+    ``Deployment.users`` for actor-shaped views instead).
+    """
     start_stream = streams.stream("testbed.user.start")
     switch_stream = streams.stream("testbed.user.switch")
     all_server_nodes = [server.node for server in server_of_node.values()]
+    if not env.legacy_kernel and not legacy_users_enabled():
+        nodes: List[NetworkNode] = []
+        targets: List[NetworkNode] = []
+        offsets: List[float] = []
+        for index, server_node in enumerate(topology.servers):
+            for user_node in topology.users[index]:
+                nodes.append(user_node)
+                targets.append(server_node)
+                offsets.append(
+                    start_stream.uniform(0.0, config.user_start_window_s)
+                )
+        if config.user_selector == "switch":
+            cohort = UserCohort(
+                env, fabric, content, nodes,
+                user_ttl_s=config.user_ttl_s,
+                start_offsets=offsets,
+                switch_servers=all_server_nodes,
+                switch_stream=switch_stream,
+                user_metrics=config.user_metrics,
+            )
+        else:
+            cohort = UserCohort(
+                env, fabric, content, nodes,
+                user_ttl_s=config.user_ttl_s,
+                start_offsets=offsets,
+                targets=targets,
+                user_metrics=config.user_metrics,
+            )
+        return (), cohort
     users: List[EndUserActor] = []
     for index, server_node in enumerate(topology.servers):
         for user_node in topology.users[index]:
@@ -599,7 +741,7 @@ def _make_users(
                     start_offset_s=start_stream.uniform(0.0, config.user_start_window_s),
                 )
             )
-    return users
+    return users, None
 
 
 # ----------------------------------------------------------------------
@@ -656,7 +798,9 @@ def _build_deployment(
     infra.wire(provider, servers)
     _wire_provider(provider, method)
     server_of_node = {server.node.node_id: server for server in servers}
-    users = _make_users(config, env, streams, fabric, content, topology, server_of_node)
+    users, cohort = _make_users(
+        config, env, streams, fabric, content, topology, server_of_node
+    )
     deployment = Deployment(
         name="%s/%s%s"
         % (method, infrastructure, _scenario_name_suffix(resolved, config, cell)),
@@ -668,6 +812,7 @@ def _build_deployment(
         provider=provider,
         servers=servers,
         users=users,
+        cohort=cohort,
     )
     _install_perturbations(deployment, cell)
     return deployment
@@ -736,7 +881,7 @@ def _build_hat_system(
         ),
     )
     server_of_node = dict(hat.server_by_node_id)
-    users = _make_users(
+    users, cohort = _make_users(
         config, env, streams, fabric, content, topology, server_of_node
     )
     deployment = Deployment(
@@ -749,6 +894,7 @@ def _build_hat_system(
         provider=hat.provider,
         servers=hat.servers,
         users=users,
+        cohort=cohort,
     )
     _install_perturbations(deployment, cell)
     return deployment

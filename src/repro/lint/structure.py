@@ -62,6 +62,16 @@ SLOTS_MANIFEST: Dict[str, Dict[str, str]] = {
     "repro/obs/counters.py": {
         "FabricCounters": "incremented inline on the message path",
     },
+    "repro/sim/timers.py": {
+        "CallbackLane": "swept per expiring deadline batch",
+    },
+    "repro/cdn/cohort.py": {
+        "UserCohort": "attribute reads per visit on the user plane",
+        "_CohortUserView": "one per user when views are materialised",
+    },
+    "repro/metrics/incremental.py": {
+        "AggregateUserMetrics": "on_observe per user visit",
+    },
 }
 
 

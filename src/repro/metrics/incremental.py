@@ -26,7 +26,8 @@ Bit-identity with the legacy pass is structural, not approximate:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List
+from array import array
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -36,7 +37,12 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only imports (the cdn
     from ..cdn.client import Observation
     from ..cdn.content import LiveContent
 
-__all__ = ["ServerLagTracker", "UserObservationTracker"]
+__all__ = [
+    "ServerLagTracker",
+    "UserObservationTracker",
+    "AggregateUserMetrics",
+    "aggregate_user_rollup",
+]
 
 
 class ServerLagTracker:
@@ -46,12 +52,18 @@ class ServerLagTracker:
     newer *version* lands in the replica's cache (wire it to
     ``ServerActor.on_apply_hooks``); versions across calls are therefore
     strictly increasing.
+
+    *times* lets many trackers share one update-times list (the cohort
+    plane builds hundreds of thousands of trackers per run); when given
+    it must equal ``list(content.update_times)`` and is never mutated.
     """
 
     __slots__ = ("_times", "_lags", "_covered")
 
-    def __init__(self, content: LiveContent) -> None:
-        self._times = list(content.update_times)
+    def __init__(
+        self, content: LiveContent, times: Optional[List[float]] = None
+    ) -> None:
+        self._times = times if times is not None else list(content.update_times)
         self._lags: List[float] = []
         #: Highest update index already scored (covered prefix).
         self._covered = 0
@@ -94,8 +106,10 @@ class UserObservationTracker:
 
     __slots__ = ("_times", "_lags", "_seen", "_stale", "_total")
 
-    def __init__(self, content: LiveContent) -> None:
-        self._times = list(content.update_times)
+    def __init__(
+        self, content: LiveContent, times: Optional[List[float]] = None
+    ) -> None:
+        self._times = times if times is not None else list(content.update_times)
         self._lags: List[float] = []
         #: Running maximum observed version (-1 before any visit).
         self._seen = -1
@@ -137,3 +151,129 @@ class UserObservationTracker:
         if not self._total:
             return 0.0
         return self._stale / self._total
+
+
+class AggregateUserMetrics:
+    """O(1)-per-user staleness accumulators for planet-scale runs.
+
+    The per-user tracker keeps a lag *list* per user (and the testbed
+    keys one metrics-dict entry per user), which is the wrong memory
+    shape for a million users.  This class keeps four unboxed scalars
+    per user slot -- running max version, lag sum, stale count, visit
+    count -- in :mod:`array` storage, and the collection pass groups
+    slots by home server (:func:`aggregate_user_rollup`).
+
+    The aggregate mode is its own metrics layout, not a bit-compatible
+    re-expression of the per-user mode: lag sums accumulate left to
+    right (the per-user tracker feeds ``np.mean``'s pairwise
+    summation), and the reported dicts are keyed by home server.  What
+    *is* exact is arm equality: the cohort plane, the actor plane and
+    the legacy-kernel replay all funnel observations through this same
+    class in the same order, so a differential run compares equal, and
+    sharded runs merge deterministically (see
+    ``repro.experiments.sharding``).
+
+    ``on_observe`` mirrors :meth:`UserObservationTracker.on_observe`
+    exactly (same strict comparisons, same censor clamping); versions
+    may regress and count as stale visits.
+    """
+
+    __slots__ = ("_times", "_seen", "_lag_sum", "_stale", "_total")
+
+    def __init__(
+        self,
+        content: LiveContent,
+        n_slots: int,
+        times: Optional[List[float]] = None,
+    ) -> None:
+        if n_slots < 0:
+            raise ValueError("n_slots must be >= 0")
+        self._times = times if times is not None else list(content.update_times)
+        self._seen = array("q", [-1]) * n_slots
+        self._lag_sum = array("d", [0.0]) * n_slots
+        self._stale = array("q", [0]) * n_slots
+        self._total = array("q", [0]) * n_slots
+
+    @property
+    def n_slots(self) -> int:
+        return len(self._seen)
+
+    def observer(self, slot: int):
+        """``EndUserActor.on_observation``-shaped adapter for *slot*
+        (the actor arm of the differential suite wires this where the
+        cohort plane calls :meth:`on_observe` directly)."""
+        on_observe = self.on_observe
+
+        def hook(observation: "Observation") -> None:
+            on_observe(slot, observation.time, observation.version)
+
+        return hook
+
+    def on_observe(self, slot: int, now: float, version: int) -> None:
+        self._total[slot] += 1
+        seen = self._seen[slot]
+        if version < seen:
+            self._stale[slot] += 1
+            return
+        if version > seen:
+            times = self._times
+            lag = self._lag_sum[slot]
+            for index in range(max(seen, 0) + 1, min(version, len(times)) + 1):
+                lag += max(0.0, now - times[index - 1])
+            self._lag_sum[slot] = lag
+            self._seen[slot] = version
+
+    def mean_lags(self, censor_at: float) -> List[float]:
+        """Per-slot mean first-sight lag, never-seen updates censored at
+        *censor_at*.  Non-destructive; the censor loop only walks each
+        slot's uncovered tail (empty for users that saw every update)."""
+        times = self._times
+        n_times = len(times)
+        out: List[float] = []
+        for slot in range(len(self._seen)):
+            covered = min(max(self._seen[slot], 0), n_times)
+            total = self._lag_sum[slot]
+            for index in range(covered + 1, n_times + 1):
+                total += max(0.0, censor_at - times[index - 1])
+            out.append(total / n_times if n_times else 0.0)
+        return out
+
+    def stale_fractions(self) -> List[float]:
+        return [
+            self._stale[slot] / total if total else 0.0
+            for slot, total in enumerate(self._total)
+        ]
+
+
+def aggregate_user_rollup(
+    aggregate: AggregateUserMetrics,
+    node_ids: Sequence[str],
+    censor_at: float,
+) -> Tuple[Dict[str, float], Dict[str, float]]:
+    """Group per-slot aggregates by home server.
+
+    *node_ids* are the user node ids in slot order; the home server is
+    recovered from the testbed's ``<server>-user-<i>`` naming, so the
+    grouping is identical however the users were built (cohort, actors,
+    or a legacy-kernel replay) and stable under population sharding.
+    Returns ``(user_lags, user_stale_fractions)`` keyed by server node
+    id, both plain per-group means accumulated in slot order.
+    """
+    means = aggregate.mean_lags(censor_at)
+    fracs = aggregate.stale_fractions()
+    lag_sums: Dict[str, float] = {}
+    frac_sums: Dict[str, float] = {}
+    counts: Dict[str, int] = {}
+    for slot, node_id in enumerate(node_ids):
+        group = node_id.rsplit("-user-", 1)[0]
+        if group in counts:
+            counts[group] += 1
+            lag_sums[group] += means[slot]
+            frac_sums[group] += fracs[slot]
+        else:
+            counts[group] = 1
+            lag_sums[group] = means[slot]
+            frac_sums[group] = fracs[slot]
+    user_lags = {group: lag_sums[group] / counts[group] for group in counts}
+    stale = {group: frac_sums[group] / counts[group] for group in counts}
+    return user_lags, stale

@@ -52,8 +52,7 @@ class NetworkNode:
         self.city_name = city_name
         #: Output port: transmissions leaving this node serialise here.
         self.output_port = Resource(env, capacity=1)
-        #: Inbox: the fabric delivers received messages into this store.
-        self.inbox: Store = Store(env)
+        self._inbox: Optional[Store] = None
         #: Fast-kernel direct dispatch: when an actor registers a
         #: consumer, :meth:`deliver` calls it synchronously at delivery
         #: time instead of round-tripping through the inbox store (which
@@ -71,6 +70,19 @@ class NetworkNode:
 
     def __repr__(self) -> str:
         return "NetworkNode(%s @ %s)" % (self.node_id, self.city_name or self.point)
+
+    @property
+    def inbox(self) -> Store:
+        """Inbox: the fabric delivers received messages into this store.
+
+        Built lazily -- fast-kernel nodes with a registered consumer
+        never touch it, which matters when the cohort plane attaches a
+        million user nodes (``Store`` construction has no side effects
+        on the environment, so laziness is unobservable)."""
+        store = self._inbox
+        if store is None:
+            store = self._inbox = Store(self.env)
+        return store
 
     # ------------------------------------------------------------------
     # up/down state (failure injection, Section 3.4.5)

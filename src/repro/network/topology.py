@@ -120,16 +120,38 @@ class TopologyBuilder:
         provider_city: str = "Atlanta",
         provider_uplink_kbps: float = DEFAULT_PROVIDER_UPLINK_KBPS,
         server_uplink_kbps: float = DEFAULT_UPLINK_KBPS,
+        user_shards: int = 1,
+        user_shard: int = 0,
     ) -> Topology:
-        """Build the full Section-4-style deployment."""
+        """Build the full Section-4-style deployment.
+
+        *user_shards* / *user_shard* deterministically partition the
+        user population: this topology places only the users whose
+        per-server index ``u`` satisfies ``u % user_shards ==
+        user_shard``, keeping the *global* index in the node id
+        (``server-3-user-7`` names the same logical user in every
+        sharding).  The provider and all servers are placed identically
+        in every shard -- server draws precede user draws on the
+        placement streams -- so a sharded run is the same server plane
+        serving a disjoint slice of users, and shard metrics merge
+        exactly (see ``repro.experiments.sharding``).
+        """
         if n_servers <= 0:
             raise ValueError("n_servers must be positive")
         if users_per_server < 0:
             raise ValueError("users_per_server must be >= 0")
+        if user_shards < 1:
+            raise ValueError("user_shards must be >= 1")
+        if not 0 <= user_shard < user_shards:
+            raise ValueError("user_shard must be in [0, user_shards)")
         provider = self.make_provider(provider_city, provider_uplink_kbps)
         servers = [self.make_server(i, server_uplink_kbps) for i in range(n_servers)]
         users = [
-            [self.make_user(server, u) for u in range(users_per_server)]
+            [
+                self.make_user(server, u)
+                for u in range(users_per_server)
+                if u % user_shards == user_shard
+            ]
             for server in servers
         ]
         return Topology(provider=provider, servers=servers, users=users)

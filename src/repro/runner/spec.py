@@ -85,11 +85,20 @@ class RunSpec:
         return base
 
     def to_dict(self) -> Dict[str, Any]:
+        config = asdict(self.config)
+        # User-plane knobs serialize only when non-default, for the same
+        # registry-key-stability reason as ``scenario`` below (the knobs
+        # post-date many stored runs; ``from_dict`` restores defaults).
+        if config.get("user_metrics") == "per-user":
+            del config["user_metrics"]
+        if config.get("user_shards") == 1 and config.get("user_shard") == 0:
+            del config["user_shards"]
+            del config["user_shard"]
         data = {
             "kind": self.kind,
             "method": self.method,
             "infrastructure": self.infrastructure,
-            "config": asdict(self.config),
+            "config": config,
         }
         # Serialized only when non-default: default-valued specs keep
         # the pre-scenario canonical form, so existing registry keys

@@ -34,11 +34,11 @@ lane in the middle of its own sweep.
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from .engine import Environment, Event
 
-__all__ = ["TimerWheel"]
+__all__ = ["TimerWheel", "CallbackLane"]
 
 #: Swept (dead) slots tolerated at the front of a lane before the
 #: backing lists are compacted.
@@ -120,6 +120,123 @@ class _Lane:
             deadlines.clear()
             waiters.clear()
             self.head = 0
+
+
+class CallbackLane:
+    """A monotone-deadline lane that fires ``on_expire(payload)`` per slot.
+
+    Same sweep mechanics as the wheel's internal ``_Lane`` -- parallel
+    arrays, a bisect-swept expired prefix, one reusable control event,
+    lazy cancellation with dead-slot pruning -- but payload-carrying and
+    callback-driven, for subsystems that batch their own timers (the
+    user cohort's request timeouts).  Deadlines must be pushed in
+    non-decreasing order (one lane per fixed delay gives this for
+    free); ``is_dead(payload)`` lets already-answered slots be pruned
+    without ever touching the heap.
+
+    Unlike waiter lanes, ``on_expire`` runs *inside* the control-event
+    callback rather than through a per-slot heap event.  Slots expiring
+    at the same instant fire in arming order, the order their per-timer
+    events would have popped in.
+    """
+
+    __slots__ = (
+        "env", "deadlines", "payloads", "head", "control", "on_expire",
+        "is_dead", "armed", "expired", "cancelled", "sweeps", "_sweeping",
+    )
+
+    def __init__(
+        self,
+        env: Environment,
+        on_expire: Callable[[Any], None],
+        is_dead: Callable[[Any], bool],
+    ) -> None:
+        self.env = env
+        self.on_expire = on_expire
+        self.is_dead = is_dead
+        self.deadlines: List[float] = []
+        self.payloads: List[Any] = []
+        self.head = 0
+        control = Event(env)
+        control._ok = True
+        control._value = None
+        control.callbacks = None
+        self.control = control
+        self.armed = 0
+        self.expired = 0
+        self.cancelled = 0
+        self.sweeps = 0
+        self._sweeping = False
+
+    def push(self, deadline: float, payload: Any) -> None:
+        deadlines = self.deadlines
+        if deadlines and deadline < deadlines[-1]:
+            raise ValueError(
+                "CallbackLane deadlines must be monotone: %r < %r"
+                % (deadline, deadlines[-1])
+            )
+        deadlines.append(deadline)
+        self.payloads.append(payload)
+        self.armed += 1
+        control = self.control
+        # During a sweep the engine has already taken the control
+        # event's callbacks, so ``callbacks is None`` does not mean
+        # "unarmed"; the sweep's own re-arm pass (which sees this push)
+        # is the sole arming point then -- arming here too would leave
+        # a duplicate heap entry AND could arm later than an older
+        # still-pending slot.
+        if control.callbacks is None and not self._sweeping:
+            control.callbacks = [self._sweep]
+            self.env.schedule_at(control, deadline)
+
+    def _sweep(self, _event: Event) -> None:
+        deadlines = self.deadlines
+        payloads = self.payloads
+        head = self.head
+        tail = len(deadlines)
+        cut = bisect_right(deadlines, self.env._now, head, tail)
+        is_dead = self.is_dead
+        on_expire = self.on_expire
+        self._sweeping = True
+        try:
+            for index in range(head, cut):
+                payload = payloads[index]
+                payloads[index] = None
+                if payload is None or is_dead(payload):
+                    self.cancelled += 1
+                else:
+                    on_expire(payload)
+                    self.expired += 1
+        finally:
+            self._sweeping = False
+        self.sweeps += 1
+        # ``on_expire`` may have pushed new slots: re-read the tail so
+        # the re-arm/drain decision below sees them.
+        tail = len(deadlines)
+        while cut < tail:
+            payload = payloads[cut]
+            if payload is not None and not is_dead(payload):
+                break
+            payloads[cut] = None
+            self.cancelled += 1
+            cut += 1
+        if cut < tail:
+            if cut >= _COMPACT_SLACK and cut * 2 >= tail:
+                del deadlines[:cut]
+                del payloads[:cut]
+                cut = 0
+            self.head = cut
+            control = self.control
+            control.callbacks = [self._sweep]
+            self.env.schedule_at(control, deadlines[cut])
+        else:
+            deadlines.clear()
+            payloads.clear()
+            self.head = 0
+
+    @property
+    def pending(self) -> int:
+        return len(self.deadlines) - self.head
 
 
 class TimerWheel:

@@ -1,0 +1,346 @@
+"""Unit and edge-case tests for the struct-of-arrays user plane.
+
+Covers the corners the differential suite's grid does not isolate:
+empty and single-user populations, start-time jitter collapsing many
+first visits into one sweep batch, servers failing mid-run, the
+pure-Python array backend, the :class:`~repro.sim.timers.CallbackLane`
+contract, and the LRU placement cache's keying/tuning.
+"""
+
+import os
+from contextlib import contextmanager
+
+import pytest
+
+import repro.cdn.cohort as cohort_mod
+import repro.experiments.testbed as testbed_mod
+import repro.network.message as message_mod
+from repro.cdn.cohort import (
+    COHORT_BACKEND_ENV,
+    LEGACY_USERS_ENV,
+    UserCohort,
+    _NumpyBackend,
+    _PurePythonBackend,
+    _select_backend,
+    legacy_users_enabled,
+)
+from repro.experiments.config import TestbedConfig
+from repro.experiments.testbed import build_deployment
+from repro.sim import Environment
+from repro.sim.timers import CallbackLane
+
+
+def _config(seed=0, **overrides):
+    defaults = dict(
+        n_servers=4,
+        users_per_server=2,
+        n_updates=6,
+        game_duration_s=200.0,
+        hat_clusters=3,
+        seed=seed,
+    )
+    defaults.update(overrides)
+    return TestbedConfig(**defaults)
+
+
+@contextmanager
+def _legacy_users():
+    old = os.environ.get(LEGACY_USERS_ENV)
+    os.environ[LEGACY_USERS_ENV] = "1"
+    try:
+        yield
+    finally:
+        if old is None:
+            os.environ.pop(LEGACY_USERS_ENV, None)
+        else:
+            os.environ[LEGACY_USERS_ENV] = old
+
+
+def _run(config, method="ttl"):
+    message_mod._SEQ = 0
+    deployment = build_deployment(config, method)
+    metrics = deployment.run()
+    return deployment, metrics
+
+
+def _comparable(metrics):
+    data = metrics.to_dict()
+    data.pop("events_processed")
+    return data
+
+
+# ----------------------------------------------------------------------
+# population edge cases
+# ----------------------------------------------------------------------
+class TestPopulationEdges:
+    def test_zero_users_per_server(self):
+        deployment, metrics = _run(_config(users_per_server=0))
+        assert deployment.cohort is not None
+        assert deployment.cohort.n_users == 0
+        assert list(deployment.cohort.users) == []
+        assert metrics.user_lags == {}
+        assert metrics.server_lags  # server plane unaffected
+
+    def test_zero_users_matches_actor_arm(self):
+        cohort = _comparable(_run(_config(users_per_server=0))[1])
+        with _legacy_users():
+            actors = _comparable(_run(_config(users_per_server=0))[1])
+        assert cohort == actors
+
+    def test_single_user(self):
+        deployment, metrics = _run(_config(n_servers=1, users_per_server=1))
+        cohort = deployment.cohort
+        assert cohort.n_users == 1
+        assert cohort.visits_started > 0
+        assert len(metrics.user_lags) == 1
+        (observations,) = [cohort.observations_of(0)]
+        assert observations, "single user never observed anything"
+        assert observations == list(cohort.users[0].observations)
+
+    def test_jitter_straddling_one_sweep_batch(self):
+        """A tiny start window collapses every first visit into one or
+        two sweep batches; ordering and metrics must still match the
+        actor arm exactly."""
+        config = _config(user_start_window_s=0.001)
+        cohort_metrics = _comparable(_run(config)[1])
+        with _legacy_users():
+            actor_metrics = _comparable(_run(config)[1])
+        assert cohort_metrics == actor_metrics
+
+    def test_batched_sweeps_actually_batch(self):
+        """Coinciding deadlines expire in one sweep: with every start
+        offset pinned to the same instant, the first batch serves the
+        whole population off a single control event."""
+        message_mod._SEQ = 0
+        deployment = build_deployment(_config(), "ttl")
+        cohort = deployment.cohort
+        cohort._start_offsets = [10.0] * cohort.n_users
+        deployment.run()
+        assert cohort.visits_started > cohort.n_users
+        assert cohort.sweeps <= cohort.visits_started - (cohort.n_users - 1)
+
+
+# ----------------------------------------------------------------------
+# mid-run server failures
+# ----------------------------------------------------------------------
+class TestMidRunFailures:
+    def test_failed_visits_accrue_and_polling_resumes(self):
+        message_mod._SEQ = 0
+        config = _config(n_servers=2, users_per_server=1)
+        deployment = build_deployment(config, "ttl")
+        cohort = deployment.cohort
+        victim = deployment.servers[0].node
+
+        def storm(env):
+            yield env.timeout(80.0)
+            victim.mark_down()
+            yield env.timeout(60.0)
+            victim.mark_up()
+
+        deployment.env.process(storm(deployment.env))
+        metrics = deployment.run()
+        assert cohort.total_failed_visits() > 0
+        assert metrics.dropped_messages > 0
+        # The victim's user kept its poll loop alive through the outage:
+        # observations exist with timestamps after the revival.
+        victim_slot = next(
+            slot
+            for slot, node in enumerate(cohort.nodes)
+            if node.node_id.startswith(victim.node_id + "-user-")
+        )
+        times = [obs.time for obs in cohort.observations_of(victim_slot)]
+        assert any(t > 140.0 for t in times)
+
+    def test_mid_run_failure_matches_actor_arm(self):
+        def run_with_storm():
+            message_mod._SEQ = 0
+            config = _config(n_servers=2, users_per_server=1)
+            deployment = build_deployment(config, "ttl")
+            victim = deployment.servers[0].node
+
+            def storm(env):
+                yield env.timeout(80.0)
+                victim.mark_down()
+                yield env.timeout(60.0)
+                victim.mark_up()
+
+            deployment.env.process(storm(deployment.env))
+            return _comparable(deployment.run())
+
+        cohort = run_with_storm()
+        with _legacy_users():
+            actors = run_with_storm()
+        assert cohort == actors
+
+
+# ----------------------------------------------------------------------
+# array backend selection
+# ----------------------------------------------------------------------
+class TestArrayBackend:
+    def test_pure_python_fallback_is_bit_identical(self, monkeypatch):
+        numpy_metrics = _comparable(_run(_config())[1])
+        monkeypatch.setattr(cohort_mod, "ARRAY_BACKEND", _PurePythonBackend())
+        fallback_deployment, fallback = _run(_config())
+        assert fallback_deployment.cohort.backend.name == "array"
+        assert _comparable(fallback) == numpy_metrics
+
+    def test_backend_env_forces_fallback(self, monkeypatch):
+        monkeypatch.setenv(COHORT_BACKEND_ENV, "array")
+        assert _select_backend().name == "array"
+        monkeypatch.setenv(COHORT_BACKEND_ENV, "python")
+        assert _select_backend().name == "array"
+        monkeypatch.delenv(COHORT_BACKEND_ENV)
+        # numpy is installed in the test environment, so the default
+        # selection picks it.
+        assert _select_backend().name == "numpy"
+
+    def test_legacy_users_env_parsing(self, monkeypatch):
+        monkeypatch.delenv(LEGACY_USERS_ENV, raising=False)
+        assert not legacy_users_enabled()
+        monkeypatch.setenv(LEGACY_USERS_ENV, "0")
+        assert not legacy_users_enabled()
+        monkeypatch.setenv(LEGACY_USERS_ENV, "1")
+        assert legacy_users_enabled()
+
+
+# ----------------------------------------------------------------------
+# cohort user views
+# ----------------------------------------------------------------------
+class TestCohortViews:
+    def test_views_mirror_cohort_state(self):
+        deployment, metrics = _run(_config())
+        cohort = deployment.cohort
+        users = cohort.users
+        assert len(users) == cohort.n_users == 8
+        for slot, view in enumerate(users):
+            assert view.node is cohort.nodes[slot]
+            assert view.failed_visits == cohort.failed_visits_of(slot)
+            assert list(view.observations) == cohort.observations_of(slot)
+        # Deployment.users materialises the same views lazily.
+        assert deployment.users is users
+
+    def test_ttl_setter_writes_through(self):
+        deployment, _ = _run(_config())
+        view = deployment.cohort.users[0]
+        view.user_ttl_s = 5.0
+        assert deployment.cohort.users[0].user_ttl_s == 5.0
+        with pytest.raises(ValueError):
+            view.user_ttl_s = 0.0
+
+    def test_aggregate_mode_has_no_per_user_observations(self):
+        deployment, _ = _run(_config(user_metrics="aggregate"))
+        cohort = deployment.cohort
+        assert cohort.aggregate is not None
+        with pytest.raises(RuntimeError, match="aggregate"):
+            cohort.observations_of(0)
+
+
+# ----------------------------------------------------------------------
+# CallbackLane unit contract
+# ----------------------------------------------------------------------
+class TestCallbackLane:
+    def _lane(self, env, dead=lambda payload: False):
+        fired = []
+        lane = CallbackLane(env, fired.append, dead)
+        return lane, fired
+
+    def test_expires_in_push_order(self):
+        env = Environment()
+        lane, fired = self._lane(env)
+        for deadline, payload in ((1.0, "a"), (1.0, "b"), (3.0, "c")):
+            lane.push(deadline, payload)
+        env.run(until=2.0)
+        assert fired == ["a", "b"]
+        assert lane.pending == 1
+        env.run()
+        assert fired == ["a", "b", "c"]
+        assert lane.sweeps == 2
+
+    def test_rejects_non_monotone_deadlines(self):
+        env = Environment()
+        lane, _ = self._lane(env)
+        lane.push(5.0, "later")
+        with pytest.raises(ValueError):
+            lane.push(4.0, "earlier")
+
+    def test_dead_payloads_are_pruned_not_fired(self):
+        env = Environment()
+        dead = set()
+        lane, fired = self._lane(env, dead=lambda p: p in dead)
+        for index in range(6):
+            lane.push(float(index + 1), index)
+        dead.update({1, 2, 4})
+        env.run()
+        assert fired == [0, 3, 5]
+        assert lane.cancelled == 3
+        assert lane.expired == 3
+        assert lane.pending == 0
+
+    def test_push_while_running_rearms(self):
+        env = Environment()
+        lane, fired = self._lane(env)
+
+        def chain(payload):
+            fired.append(payload)
+            if payload < 3:
+                lane.push(env.now + 1.0, payload + 1)
+
+        lane.on_expire = chain
+        lane.push(1.0, 0)
+        env.run()
+        assert fired == [0, 1, 2, 3]
+
+
+# ----------------------------------------------------------------------
+# LRU placement cache
+# ----------------------------------------------------------------------
+class TestPlacementCacheLRU:
+    def _build(self, seed=0, **overrides):
+        build_deployment(_config(seed, **overrides), "ttl")
+
+    def test_hits_refresh_recency(self, monkeypatch):
+        testbed_mod._PLACEMENT_CACHE.clear()
+        monkeypatch.setattr(testbed_mod, "_PLACEMENT_CACHE_MAX", 2)
+        self._build(seed=0)
+        self._build(seed=1)
+        self._build(seed=0)  # hit: seed 0 becomes most recent
+        self._build(seed=2)  # evicts seed 1, the true LRU entry
+        seeds = [key[0] for key in testbed_mod._PLACEMENT_CACHE]
+        assert seeds == [0, 2]
+
+    def test_env_tunes_capacity(self, monkeypatch):
+        testbed_mod._PLACEMENT_CACHE.clear()
+        monkeypatch.setenv(testbed_mod.PLACEMENT_CACHE_ENV, "1")
+        self._build(seed=0)
+        self._build(seed=1)
+        assert len(testbed_mod._PLACEMENT_CACHE) == 1
+        monkeypatch.setenv(testbed_mod.PLACEMENT_CACHE_ENV, "not-a-number")
+        self._build(seed=2)  # falls back to the default capacity
+        assert len(testbed_mod._PLACEMENT_CACHE) == 2
+
+    def test_env_zero_disables_caching(self, monkeypatch):
+        testbed_mod._PLACEMENT_CACHE.clear()
+        monkeypatch.setenv(testbed_mod.PLACEMENT_CACHE_ENV, "0")
+        self._build(seed=0)
+        assert testbed_mod._PLACEMENT_CACHE == {}
+
+    def test_shards_get_distinct_entries(self):
+        """Shards share (seed, shape) but place different user subsets;
+        without shard-aware keys shard 1 would reuse shard 0's users."""
+        testbed_mod._PLACEMENT_CACHE.clear()
+        for shard in (0, 1):
+            self._build(
+                user_metrics="aggregate", user_shards=2, user_shard=shard
+            )
+        assert len(testbed_mod._PLACEMENT_CACHE) == 2
+        keys = list(testbed_mod._PLACEMENT_CACHE)
+        assert keys[0] != keys[1]
+
+    def test_shard_cache_reuse_is_bit_transparent(self):
+        testbed_mod._PLACEMENT_CACHE.clear()
+        config = _config(user_metrics="aggregate", user_shards=2, user_shard=1)
+        message_mod._SEQ = 0
+        miss = build_deployment(config, "ttl").run().to_dict()
+        message_mod._SEQ = 0
+        hit = build_deployment(config, "ttl").run().to_dict()
+        assert miss == hit

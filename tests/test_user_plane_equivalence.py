@@ -1,0 +1,301 @@
+"""Differential tests: struct-of-arrays user cohort vs per-user actors.
+
+The :class:`~repro.cdn.cohort.UserCohort` must be a pure performance
+change: metrics, fabric counters, and full message/visit traces must be
+bit-identical to the legacy actor path (``REPRO_LEGACY_USERS=1``) for
+every update method on every infrastructure at three seeds -- and, in
+aggregate-metrics mode, identical across all three arms (cohort,
+fast-kernel actors, legacy-kernel actors).  Only ``events_processed``
+may differ (batched visit sweeps are the point).
+
+Also covers the sharding contract: merging a cell's shard runs is
+bit-identical whether the shards executed serially or across a worker
+pool, and the shard specs reproduce the same server plane.
+"""
+
+import os
+from contextlib import contextmanager
+
+import pytest
+
+import repro.network.message as message_mod
+from repro.cdn.cohort import LEGACY_USERS_ENV
+from repro.experiments.config import TestbedConfig
+from repro.experiments.sharding import (
+    merge_shard_metrics,
+    shard_specs,
+    shard_user_counts,
+)
+from repro.experiments.testbed import INFRASTRUCTURES, METHODS, build_deployment
+from repro.obs.tracer import RecordingTracer
+from repro.runner import Runner, RunSpec, run_specs
+from repro.sim.engine import LEGACY_KERNEL_ENV
+
+_TRACE_KINDS = (
+    "msg_send",
+    "msg_recv",
+    "msg_drop",
+    "visit",
+    "visit_timeout",
+    "msg_timeout",
+)
+
+
+@contextmanager
+def _env_flags(**flags):
+    """Pin construction-time environment switches around a build."""
+    old = {name: os.environ.get(name) for name in flags}
+    for name, value in flags.items():
+        if value is None:
+            os.environ.pop(name, None)
+        else:
+            os.environ[name] = value
+    try:
+        yield
+    finally:
+        for name, value in old.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+
+
+def _tiny_config(seed, **overrides):
+    defaults = dict(
+        n_servers=6,
+        users_per_server=2,
+        n_updates=6,
+        game_duration_s=200.0,
+        hat_clusters=3,
+        seed=seed,
+    )
+    defaults.update(overrides)
+    return TestbedConfig(**defaults)
+
+
+def _run_cell(
+    method,
+    infrastructure,
+    seed,
+    *,
+    legacy_users,
+    legacy_kernel=False,
+    scenario=None,
+    **overrides
+):
+    """One deployment run; returns (metrics, counters, trace)."""
+    message_mod._SEQ = 0
+    tracer = RecordingTracer()
+    with _env_flags(
+        **{
+            LEGACY_USERS_ENV: "1" if legacy_users else None,
+            LEGACY_KERNEL_ENV: "1" if legacy_kernel else None,
+        }
+    ):
+        deployment = build_deployment(
+            _tiny_config(seed, **overrides),
+            method,
+            infrastructure,
+            tracer=tracer,
+            scenario=scenario,
+        )
+    assert (deployment.cohort is not None) == (
+        not legacy_users and not legacy_kernel
+    )
+    metrics = deployment.run()
+    trace = tracer.events(kinds=_TRACE_KINDS)
+    return metrics, deployment.fabric.counters.to_dict(), trace
+
+
+def _cell_overrides(method, infrastructure):
+    # invalidation/broadcast floods; cut the horizon shortly after the
+    # storm starts so the cell stays fast (same trim as the kernel
+    # differential suite).
+    if (method, infrastructure) == ("invalidation", "broadcast"):
+        return {"horizon_s": 80.0}
+    return {}
+
+
+def _assert_identical(cohort, actors, label):
+    cohort_m, cohort_c, cohort_t = cohort
+    actor_m, actor_c, actor_t = actors
+    cohort_d = cohort_m.to_dict()
+    actor_d = actor_m.to_dict()
+    cohort_d.pop("events_processed")
+    actor_d.pop("events_processed")
+    assert cohort_d == actor_d, "DeploymentMetrics diverged (%s)" % label
+    assert cohort_c == actor_c, "FabricCounters diverged (%s)" % label
+    assert cohort_t == actor_t, "traces diverged (%s)" % label
+
+
+# ----------------------------------------------------------------------
+# the differential contract
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("infrastructure", INFRASTRUCTURES)
+@pytest.mark.parametrize("method", METHODS)
+def test_cohort_bit_identical(method, infrastructure):
+    """Cohort and actor user planes agree exactly, at three seeds."""
+    overrides = _cell_overrides(method, infrastructure)
+    for seed in (0, 1, 2):
+        cohort = _run_cell(
+            method, infrastructure, seed, legacy_users=False, **overrides
+        )
+        actors = _run_cell(
+            method, infrastructure, seed, legacy_users=True, **overrides
+        )
+        _assert_identical(
+            cohort, actors, "%s/%s seed %d" % (method, infrastructure, seed)
+        )
+
+
+@pytest.mark.parametrize("selector", ["fixed", "switch"])
+def test_selector_modes_bit_identical(selector):
+    """Both visit-target policies match, including the shared
+    switch-selector RNG stream's draw order."""
+    for seed in (0, 1):
+        cohort = _run_cell(
+            "ttl", "unicast", seed, legacy_users=False, user_selector=selector
+        )
+        actors = _run_cell(
+            "ttl", "unicast", seed, legacy_users=True, user_selector=selector
+        )
+        _assert_identical(cohort, actors, "%s seed %d" % (selector, seed))
+
+
+@pytest.mark.parametrize(
+    "scenario", ["paper-baseline", "failure-storm", "flash-crowd", "cdn-reconfig"]
+)
+def test_scenario_cells_bit_identical(scenario):
+    """Perturbation-heavy scenarios (node failures, reconfiguration
+    mid-run) match across user planes too."""
+    for method in ("ttl", "push"):
+        cohort = _run_cell(
+            method, "unicast", 0, legacy_users=False, scenario=scenario
+        )
+        actors = _run_cell(
+            method, "unicast", 0, legacy_users=True, scenario=scenario
+        )
+        _assert_identical(cohort, actors, "%s@%s" % (method, scenario))
+
+
+def test_aggregate_mode_identical_across_all_arms():
+    """user_metrics='aggregate' produces one answer from all three
+    arms: cohort, fast-kernel actors, and legacy-kernel actors."""
+    results = []
+    for legacy_users, legacy_kernel in (
+        (False, False),
+        (True, False),
+        (True, True),
+    ):
+        metrics, counters, trace = _run_cell(
+            "ttl",
+            "unicast",
+            0,
+            legacy_users=legacy_users,
+            legacy_kernel=legacy_kernel,
+            user_metrics="aggregate",
+        )
+        data = metrics.to_dict()
+        data.pop("events_processed")
+        results.append((data, trace))
+    assert results[0] == results[1] == results[2]
+
+
+def test_aggregate_mode_matches_per_user_rollup():
+    """Aggregate metrics equal the per-user layout re-grouped by home
+    server: same observations, coarser bookkeeping."""
+    aggregate = _run_cell(
+        "ttl", "unicast", 0, legacy_users=False, user_metrics="aggregate"
+    )[0]
+    per_user = _run_cell(
+        "ttl", "unicast", 0, legacy_users=False, user_metrics="per-user"
+    )[0]
+    groups = {}
+    for node_id, lag in per_user.user_lags.items():
+        groups.setdefault(node_id.rsplit("-user-", 1)[0], []).append(
+            (lag, per_user.user_stale_fractions[node_id])
+        )
+    for group, pairs in groups.items():
+        mean_lag = sum(lag for lag, _ in pairs) / len(pairs)
+        mean_stale = sum(stale for _, stale in pairs) / len(pairs)
+        assert aggregate.user_lags[group] == pytest.approx(mean_lag)
+        assert aggregate.user_stale_fractions[group] == pytest.approx(mean_stale)
+
+
+# ----------------------------------------------------------------------
+# sharding: exact distribution
+# ----------------------------------------------------------------------
+class TestShardedMerge:
+    def _specs(self, shards, **overrides):
+        config = _tiny_config(0, user_metrics="aggregate", **overrides)
+        return shard_specs(RunSpec(config=config, method="ttl"), shards)
+
+    def test_merge_is_worker_count_invariant(self):
+        specs = self._specs(3)
+        weights = shard_user_counts(2, 3)
+        serial = merge_shard_metrics(
+            run_specs(specs, Runner(workers=1, registry=False)).metrics, weights
+        )
+        pooled = merge_shard_metrics(
+            run_specs(specs, Runner(workers=3, registry=False)).metrics, weights
+        )
+        assert serial.to_dict() == pooled.to_dict()
+
+    def test_shards_partition_the_population(self):
+        specs = self._specs(2, users_per_server=3)
+        outcome = run_specs(specs, Runner(workers=1, registry=False))
+        merged = merge_shard_metrics(
+            outcome.metrics, shard_user_counts(3, 2)
+        )
+        # Same server plane in every shard; each user simulated once.
+        for metrics in outcome.metrics:
+            assert list(metrics.server_lags) == list(merged.server_lags)
+        assert merged.name.endswith("[merged x2]")
+        assert len(merged.user_lags) == 6  # one group per home server
+
+    def test_sharding_requires_aggregate_metrics(self):
+        spec = RunSpec(config=_tiny_config(0), method="ttl")
+        with pytest.raises(ValueError, match="aggregate"):
+            shard_specs(spec, 2)
+
+    def test_single_shard_passthrough(self):
+        spec = RunSpec(config=_tiny_config(0), method="ttl")
+        assert shard_specs(spec, 1) == [spec]
+
+    def test_mismatched_server_planes_rejected(self):
+        specs = self._specs(2)
+        outcome = run_specs(specs, Runner(workers=1, registry=False))
+        other = build_deployment(
+            _tiny_config(0, n_servers=4, user_metrics="aggregate"), "ttl"
+        ).run()
+        with pytest.raises(ValueError, match="server plane"):
+            merge_shard_metrics(
+                [outcome.metrics[0], other], shard_user_counts(2, 2)
+            )
+
+    def test_shard_user_counts_cover_uneven_splits(self):
+        assert shard_user_counts(5, 2) == [3, 2]
+        assert shard_user_counts(1, 4) == [1, 0, 0, 0]
+        assert shard_user_counts(0, 2) == [0, 0]
+
+
+def test_spec_serialization_drops_default_user_plane_knobs():
+    """Default-valued user-plane knobs stay out of the canonical spec
+    form, so pre-cohort registry keys (and memoized runs) stay valid."""
+    spec = RunSpec(config=_tiny_config(0), method="ttl")
+    data = spec.to_dict()
+    assert "user_metrics" not in data["config"]
+    assert "user_shards" not in data["config"]
+    assert "user_shard" not in data["config"]
+    assert RunSpec.from_dict(data) == spec
+    sharded = shard_specs(
+        RunSpec(
+            config=_tiny_config(0, user_metrics="aggregate"), method="ttl"
+        ),
+        2,
+    )[1]
+    data = sharded.to_dict()
+    assert data["config"]["user_shards"] == 2
+    assert data["config"]["user_shard"] == 1
+    assert data["config"]["user_metrics"] == "aggregate"
+    assert RunSpec.from_dict(data) == sharded
