@@ -5,7 +5,8 @@ PYTEST := PYTHONPATH=src python -m pytest
 
 .PHONY: smoke lint lint-compile lint-repro lint-ruff typecheck \
 	test bench bench-engine bench-section4 bench-user-plane bench-all \
-	report trace-demo scenario-smoke scale-smoke planet-scale
+	report trace-demo scenario-smoke scale-smoke planet-scale \
+	sanitize-smoke
 
 # Aggregate static-analysis gate.  lint-ruff and typecheck no-op with a
 # notice when ruff/mypy are not installed (offline containers); CI
@@ -37,6 +38,15 @@ smoke: lint
 
 test:
 	$(PYTEST) -q tests/
+
+# Schedule sanitizer: for every default method x infrastructure cell,
+# perturb same-instant NORMAL-priority tie-breaking under a dedicated
+# seeded stream and assert metrics/counters/traces stay bit-identical
+# to the FIFO baseline -- under both kernels.  A failure means results
+# depend on incidental event-queue order (see docs/static-analysis.md).
+sanitize-smoke:
+	PYTHONPATH=src python -m repro sanitize
+	REPRO_LEGACY_KERNEL=1 PYTHONPATH=src python -m repro sanitize
 
 # The scenario registry must enumerate and the paper-baseline scenario
 # must run end to end (CI runs the same two commands as a gate).

@@ -251,7 +251,9 @@ class UpdateSourceMixin:
 
     def notify_adaptive_members(self, version: int) -> None:
         """Invalidate members in Invalidation mode not yet notified."""
-        for member, notified in list(self.adaptive_members.items()):
+        # Membership insertion order is the (deterministic) registration
+        # order, so iterating the dict view is run-stable.
+        for member, notified in list(self.adaptive_members.items()):  # repro: noqa REP007 -- insertion order = deterministic registration order
             if notified:
                 continue
             self.adaptive_members[member] = True

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Ten subcommands mirroring the paper's workflow::
+Eleven subcommands mirroring the paper's workflow::
 
     python -m repro measure    # Section 3: synthesize + analyse a crawl
     python -m repro evaluate   # Section 4: one method on one infrastructure
@@ -10,6 +10,7 @@ Ten subcommands mirroring the paper's workflow::
     python -m repro report     # regenerate the EXPERIMENTS.md report
     python -m repro trace      # run one traced deployment, dump JSONL events
     python -m repro lint       # determinism/purity static analysis (REPxxx)
+    python -m repro sanitize   # schedule sanitizer: tie-order perturbation
     python -m repro metrics    # harness-telemetry rollup (JSON / Prometheus)
     python -m repro profile    # top-N span table from a run's telemetry
 
@@ -336,14 +337,21 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--out", default="EXPERIMENTS.md")
     _add_runner_arguments(report)
 
-    # `repro lint` owns its argument surface (it is also runnable as
-    # `python -m repro.lint`): main() forwards everything after the
-    # subcommand name to repro.lint.cli before this parser ever runs,
-    # so the entry here only exists for `repro --help`.
+    # `repro lint` and `repro sanitize` own their argument surfaces
+    # (lint is also runnable as `python -m repro.lint`): main() forwards
+    # everything after the subcommand name before this parser ever runs,
+    # so the entries here only exist for `repro --help`.
     sub.add_parser(
         "lint",
-        help="determinism & purity static analysis (rules REP001-REP006; "
+        help="determinism & purity static analysis (rules REP001-REP010; "
         "see docs/static-analysis.md)",
+        add_help=False,
+    )
+    sub.add_parser(
+        "sanitize",
+        help="schedule sanitizer: perturb same-instant event ties and "
+        "assert metrics/traces stay bit-identical "
+        "(see docs/static-analysis.md)",
         add_help=False,
     )
 
@@ -926,6 +934,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .lint.cli import main as lint_main
 
         return lint_main(arguments[1:])
+    if arguments and arguments[0] == "sanitize":
+        from .experiments.sanitize import main as sanitize_main
+
+        return sanitize_main(arguments[1:])
     args = build_parser().parse_args(arguments)
     return _COMMANDS[args.command](args)
 

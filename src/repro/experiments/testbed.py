@@ -48,6 +48,7 @@ from ..metrics.incremental import (
 from ..metrics.timeseries import StalenessSeries, StalenessSeriesCache
 from ..metrics.traffic import TrafficLedger
 from ..network.link import NetworkFabric
+from ..network.message import reset_seq
 from ..network.node import NetworkNode
 from ..network.topology import Topology, TopologyBuilder
 from ..obs.counters import staleness_histogram
@@ -553,9 +554,12 @@ def _placed_topology(env: Environment, streams: StreamRegistry, config: TestbedC
         max_entries = _placement_cache_max()
         if max_entries <= 0:
             return topology, placement.path_cache
+        # Value-pure memoization: the placement is a pure function of the
+        # full config key, so cache state can never change what a shard
+        # computes -- only how fast (see RNG-stream note below).
         while len(_PLACEMENT_CACHE) >= max_entries:
-            _PLACEMENT_CACHE.popitem(last=False)
-        _PLACEMENT_CACHE[key] = placement
+            _PLACEMENT_CACHE.popitem(last=False)  # repro: noqa REP010 -- value-pure memoization keyed by full config
+        _PLACEMENT_CACHE[key] = placement  # repro: noqa REP010 -- value-pure memoization keyed by full config
         return topology, placement.path_cache
     # Cache hit: rebuild nodes without touching the placement streams.
     # Nothing else ever draws from topology.place / topology.isp, so
@@ -783,6 +787,9 @@ def _build_deployment(
 ) -> Deployment:
     method = resolve_method(method).name
     infrastructure = resolve_infrastructure(infrastructure).name
+    # Rebase the process-wide message counter so trace seq fields are a
+    # function of this run alone (see repro.network.message.reset_seq).
+    reset_seq()
     resolved, cell = _resolve_scenario_cell(config, scenario, scenario_cell)
     env, streams, topology, fabric, content, config = _base(
         config, tracer=tracer, cell=cell

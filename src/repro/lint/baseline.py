@@ -45,11 +45,18 @@ class BaselineMatcher:
         return sorted(key for key, count in self._slots.items() if count > 0)
 
 
+_REASON_PLACEHOLDER = "TODO: justify this baseline entry"
+
+
 class Baseline:
     """The parsed baseline file."""
 
     def __init__(self, slots: Optional[Dict[Fingerprint, int]] = None) -> None:
         self._slots: Dict[Fingerprint, int] = dict(slots or {})
+        #: Human justifications by fingerprint, kept so a rewrite
+        #: (``repro lint --update-baseline``) preserves the reasons of
+        #: entries that survive instead of resetting them to TODO.
+        self._reasons: Dict[Fingerprint, str] = {}
 
     # ------------------------------------------------------------------
     @classmethod
@@ -69,6 +76,7 @@ class Baseline:
                 % (file_path, _VERSION)
             )
         slots: Dict[Fingerprint, int] = {}
+        baseline = cls()
         for entry in payload.get("entries", []):
             key = (
                 str(entry["code"]),
@@ -76,7 +84,11 @@ class Baseline:
                 str(entry.get("text", "")),
             )
             slots[key] = slots.get(key, 0) + int(entry.get("count", 1))
-        return cls(slots)
+            reason = str(entry.get("reason", "")).strip()
+            if reason and key not in baseline._reasons:
+                baseline._reasons[key] = reason
+        baseline._slots = slots
+        return baseline
 
     @classmethod
     def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
@@ -98,9 +110,12 @@ class Baseline:
 
         When *findings* is given, entries are written from them (one per
         finding, with line numbers as a human aid); otherwise from the
-        fingerprint slots.  Fresh entries get a ``reason`` placeholder
-        that review should replace with an actual justification.
+        fingerprint slots.  Entries whose fingerprint carries a loaded
+        ``reason`` (see :meth:`load`) keep it; fresh entries get a
+        placeholder that review should replace with an actual
+        justification.
         """
+        reasons = self._reasons
         entries: List[Dict[str, object]] = []
         if findings is not None:
             counted: Dict[Fingerprint, Dict[str, object]] = {}
@@ -115,19 +130,20 @@ class Baseline:
                     "line": finding.line,
                     "text": finding.text,
                     "count": 1,
-                    "reason": "TODO: justify this baseline entry",
+                    "reason": reasons.get(key, _REASON_PLACEHOLDER),
                 }
                 counted[key] = entry
             entries = list(counted.values())
         else:
             for (code, package_path, text), count in sorted(self._slots.items()):
+                key = (code, package_path, text)
                 entries.append(
                     {
                         "code": code,
                         "path": package_path,
                         "text": text,
                         "count": count,
-                        "reason": "TODO: justify this baseline entry",
+                        "reason": reasons.get(key, _REASON_PLACEHOLDER),
                     }
                 )
         for entry in entries:

@@ -25,7 +25,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.lint",
         description="Determinism & purity static analysis for the repro "
-        "codebase (rules REP001-REP006; see docs/static-analysis.md).",
+        "codebase (rules REP001-REP010; see docs/static-analysis.md).",
     )
     parser.add_argument(
         "paths", nargs="*", default=["src"],
@@ -48,6 +48,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--write-baseline", action="store_true",
         help="write the current findings to the baseline file and exit 0 "
         "(fill in each entry's `reason` before committing)",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline file from the current findings: "
+        "surviving entries keep their `reason`, stale entries are "
+        "dropped, new findings get a TODO reason; exits 0",
     )
     parser.add_argument(
         "--select", default=None, metavar="CODES",
@@ -94,12 +100,24 @@ def run(args: argparse.Namespace, out: TextIO, err: TextIO) -> int:
         err.write("repro.lint: %s\n" % exc)
         return 2
 
-    if args.write_baseline:
+    if args.write_baseline or args.update_baseline:
         findings = report.all_findings
-        Baseline.empty().write(baseline_path, findings=findings)
+        # --update-baseline preserves the justifications of entries that
+        # survive the rewrite; --write-baseline starts from scratch.
+        writer = (
+            Baseline.load(baseline_path)
+            if args.update_baseline
+            else Baseline.empty()
+        )
+        writer.write(baseline_path, findings=findings)
         err.write(
-            "repro.lint: wrote %d entr%s to %s (fill in each `reason`)\n"
-            % (len(findings), "y" if len(findings) == 1 else "ies", baseline_path)
+            "repro.lint: wrote %d entr%s to %s%s\n"
+            % (
+                len(findings),
+                "y" if len(findings) == 1 else "ies",
+                baseline_path,
+                "" if args.update_baseline else " (fill in each `reason`)",
+            )
         )
         return 0
 

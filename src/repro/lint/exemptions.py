@@ -34,6 +34,18 @@ EXEMPTIONS: Dict[str, Dict[str, str]] = {
             "wall clocks by design and never feeds simulated outcomes"
         ),
     },
+    "REP010": {
+        "repro/runner/": (
+            "runner bookkeeping (registry memoization, code-version "
+            "cache) lives outside the simulated world; no simulated "
+            "outcome ever reads it"
+        ),
+        "repro/scenarios/registry": (
+            "import-time registration: @register_scenario populates the "
+            "registry while modules load, identically in every process, "
+            "before any shard runs"
+        ),
+    },
 }
 
 

@@ -1,0 +1,128 @@
+"""Static import graph shared by the reachability rules (REP003/REP010).
+
+Both observer purity (REP003) and cross-shard shared state (REP010) are
+*reachability* properties: a module is in scope because something in the
+guarded set imports it, transitively.  This module owns the one import
+graph both rules traverse so their notion of "reachable" cannot drift.
+
+Three properties of the resolver matter for soundness:
+
+- **Function-local (lazy) imports count.**  The AST walk descends into
+  function bodies, so ``def f(): from repro.x import y`` is an edge just
+  like a top-level import -- lazy plumbing (the scenario loaders, the
+  kernel's cycle-breaking local imports) cannot hide reachability.
+- **Importing a nested module imports its ancestor packages.**  At
+  runtime ``import repro.a.b`` executes ``repro/a/__init__.py`` first,
+  so ``repro.a`` is recorded as an edge alongside ``repro.a.b``.  The
+  sole exception is the distribution root: ``repro/__init__.py``
+  re-exports the entire library, so treating it as an edge would
+  collapse every closure to "the whole tree" and the rules to noise.
+  The root package is reachable only when imported by name.
+- **``from <pkg> import name`` records ``<pkg>.name``** so importing a
+  sibling *module* through its package is still an edge (the resolver
+  cannot tell modules from attributes statically; the spurious names
+  are harmless because closure traversal only follows names that
+  correspond to scanned files).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, Optional, Sequence, Set
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .engine import SourceFile
+
+__all__ = [
+    "imported_modules",
+    "file_imports",
+    "module_map",
+    "reachable_modules",
+]
+
+
+def _add_with_ancestors(name: str, imported: Set[str]) -> None:
+    """Record *name* plus every ancestor package strictly below ``repro``."""
+    parts = name.split(".")
+    for end in range(2, len(parts) + 1):
+        imported.add(".".join(parts[:end]))
+    if len(parts) == 1:
+        # Bare ``import repro`` names the root explicitly: keep it.
+        imported.add(name)
+
+
+def imported_modules(tree: ast.AST, module_name: str, is_package: bool) -> Set[str]:
+    """Absolute ``repro.*`` module names imported by *tree*.
+
+    ``from .x import y`` resolves against the module's ``__package__``
+    (the module itself for an ``__init__.py``, its parent otherwise).
+    See the module docstring for the lazy-import, ancestor-package and
+    ``<pkg>.name`` edge rules.
+    """
+    parts = module_name.split(".")
+    package = parts if is_package else parts[:-1]
+    imported: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "repro" or alias.name.startswith("repro."):
+                    _add_with_ancestors(alias.name, imported)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0:
+                base = node.module or ""
+            else:
+                anchor = package[: len(package) - (node.level - 1)]
+                if node.module:
+                    anchor = anchor + node.module.split(".")
+                base = ".".join(anchor)
+            if base == "repro" or base.startswith("repro."):
+                _add_with_ancestors(base, imported)
+                for alias in node.names:
+                    imported.add(base + "." + alias.name)
+    return imported
+
+
+def file_imports(file: "SourceFile") -> Set[str]:
+    """The ``repro.*`` edges out of one scanned file."""
+    module = file.module_name
+    if module is None:
+        return set()
+    is_package = file.package_path.endswith("/__init__.py")
+    return imported_modules(file.tree, module, is_package)
+
+
+def module_map(files: Sequence["SourceFile"]) -> Dict[str, "SourceFile"]:
+    """Dotted module name -> scanned file, for every in-package file."""
+    by_module: Dict[str, "SourceFile"] = {}
+    for file in files:
+        module = file.module_name
+        if module is not None:
+            by_module[module] = file
+    return by_module
+
+
+def reachable_modules(
+    by_module: Dict[str, "SourceFile"],
+    seeds: Iterable[str],
+    stop: Optional[Callable[[str], bool]] = None,
+) -> Set[str]:
+    """BFS closure of *seeds* over the static import graph.
+
+    A module matching *stop* joins the closure but is not traversed
+    through (REP003 stops at ``repro.sim.*``: the kernel is the guarded
+    API, not an observer).  Seeds not present in *by_module* are
+    ignored.
+    """
+    reachable: Set[str] = set()
+    frontier = [seed for seed in seeds if seed in by_module]
+    while frontier:
+        module = frontier.pop()
+        if module in reachable:
+            continue
+        reachable.add(module)
+        if stop is not None and stop(module):
+            continue
+        for target in file_imports(by_module[module]):
+            if target in by_module and target not in reachable:
+                frontier.append(target)
+    return reachable

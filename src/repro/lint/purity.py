@@ -14,20 +14,24 @@ That holds only if no code reachable from ``repro.obs`` ever
 - draws randomness (``RandomStream`` draw methods or the ``random``
   module).
 
-"Reachable" is computed over the static import graph: every module in
-``repro/obs/`` seeds the closure, and any ``repro.*`` module one of
-them imports (transitively) is pulled in -- so purity cannot be dodged
-by moving the impure helper into a sibling package.  The simulation
-kernel itself (``repro/sim/``) is excluded from the *checked* set: it
-is the code being guarded against, and scheduling inside it is its job.
+"Reachable" is computed over the static import graph (shared with
+REP010, see :mod:`repro.lint.imports`): every module in ``repro/obs/``
+seeds the closure, and any ``repro.*`` module one of them imports
+(transitively) is pulled in -- including function-local (lazy) imports
+and the ancestor packages a nested import executes -- so purity cannot
+be dodged by moving the impure helper into a sibling package or behind
+a deferred import.  The simulation kernel itself (``repro/sim/``) is
+excluded from the *checked* set: it is the code being guarded against,
+and scheduling inside it is its job.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import TYPE_CHECKING, Dict, Iterator, List, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Iterator, List, Sequence, Tuple
 
 from .findings import Finding
+from .imports import module_map, reachable_modules
 from .rules import ProjectRule
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -77,37 +81,6 @@ _RNG_CALLS = frozenset(
         "bernoulli",
     }
 )
-
-
-def _imported_modules(tree: ast.AST, module_name: str, is_package: bool) -> Set[str]:
-    """Absolute ``repro.*`` module names imported by *tree*.
-
-    ``from .x import y`` resolves against the module's ``__package__``
-    (the module itself for an ``__init__.py``, its parent otherwise);
-    ``from .x import name`` also records ``<resolved>.name`` so
-    importing a sibling *module* through its package is still an edge.
-    """
-    parts = module_name.split(".")
-    package = parts if is_package else parts[:-1]
-    imported: Set[str] = set()
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Import):
-            for alias in node.names:
-                if alias.name == "repro" or alias.name.startswith("repro."):
-                    imported.add(alias.name)
-        elif isinstance(node, ast.ImportFrom):
-            if node.level == 0:
-                base = node.module or ""
-            else:
-                anchor = package[: len(package) - (node.level - 1)]
-                if node.module:
-                    anchor = anchor + node.module.split(".")
-                base = ".".join(anchor)
-            if base == "repro" or base.startswith("repro."):
-                imported.add(base)
-                for alias in node.names:
-                    imported.add(base + "." + alias.name)
-    return imported
 
 
 class _PurityVisitor(ast.NodeVisitor):
@@ -181,33 +154,20 @@ class ObserverPurity(ProjectRule):
     )
 
     def check_project(self, files: Sequence["SourceFile"]) -> Iterator[Finding]:
-        by_module: Dict[str, "SourceFile"] = {}
-        for file in files:
-            module = file.module_name
-            if module is not None:
-                by_module[module] = file
-
+        by_module = module_map(files)
         seeds = [
             module
             for module in by_module
             if module == "repro.obs" or module.startswith("repro.obs.")
         ]
-        reachable: Set[str] = set()
-        frontier = list(seeds)
-        while frontier:
-            module = frontier.pop()
-            if module in reachable:
-                continue
-            reachable.add(module)
-            # The kernel is the guarded API, not an observer: do not
-            # traverse into or report on repro.sim.*.
-            if module == "repro.sim" or module.startswith("repro.sim."):
-                continue
-            file = by_module[module]
-            is_package = file.package_path.endswith("/__init__.py")
-            for target in _imported_modules(file.tree, module, is_package):
-                if target in by_module and target not in reachable:
-                    frontier.append(target)
+        # The kernel is the guarded API, not an observer: do not
+        # traverse into or report on repro.sim.*.
+        reachable = reachable_modules(
+            by_module,
+            seeds,
+            stop=lambda module: module == "repro.sim"
+            or module.startswith("repro.sim."),
+        )
 
         for module in sorted(reachable):
             if module == "repro.sim" or module.startswith("repro.sim."):

@@ -1,0 +1,240 @@
+"""REP009 -- callback-reentrancy hazards on timer lanes.
+
+A :class:`~repro.sim.timers.CallbackLane` runs its ``on_expire``
+callbacks *inside* the control-event sweep, mid-iteration over the
+lane's backing arrays.  The PR 8 reentrant-push bug is the cautionary
+tale: a callback that touches the lane's internals -- appending to or
+truncating ``deadlines``/``payloads``/``waiters``, moving ``head``,
+re-arming ``control`` -- corrupts the sweep that is calling it (skipped
+or double-fired slots, duplicate heap entries).  The one reentrancy-
+safe API is :meth:`CallbackLane.push`, whose ``_sweeping`` handshake
+defers re-arming to the sweep itself.
+
+The rule finds every ``CallbackLane(...)`` construction, resolves the
+callback arguments (``self._method`` or a local function), and walks
+the callback -- plus same-class helpers it calls, transitively -- for
+writes to lane backing state.  ``repro/sim/timers.py`` itself is
+exempt: the sweep is the code being guarded against, and mutating the
+arrays is its job.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Set, Tuple
+
+from .exemptions import is_exempt
+from .findings import Finding
+from .rules import FileRule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .engine import SourceFile
+
+__all__ = ["LaneReentrancy"]
+
+#: Backing state of a lane; writes from inside a registered callback
+#: corrupt the sweep mid-iteration.
+_LANE_FIELDS = frozenset({"deadlines", "payloads", "waiters", "head", "control"})
+
+#: Mutating container methods (``lane.deadlines.append(...)`` etc.).
+_MUTATORS = frozenset(
+    {"append", "extend", "insert", "pop", "remove", "clear", "sort", "reverse"}
+)
+
+
+def _attr_chain_field(node: ast.Attribute) -> Optional[str]:
+    """The lane field named by *node* (``x.deadlines`` -> ``deadlines``)."""
+    if node.attr in _LANE_FIELDS:
+        return node.attr
+    return None
+
+
+class _ClassMethods:
+    """Methods of one class body, by name."""
+
+    def __init__(self, node: Optional[ast.ClassDef] = None) -> None:
+        self.methods: Dict[str, ast.FunctionDef] = {}
+        if node is not None:
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    self.methods[item.name] = item
+
+    @classmethod
+    def empty(cls) -> "_ClassMethods":
+        return cls(None)
+
+
+class LaneReentrancy(FileRule):
+    """REP009 -- lane callbacks must not mutate lane backing state."""
+
+    code = "REP009"
+    name = "lane-reentrancy"
+    summary = (
+        "CallbackLane/timer-lane callbacks must not mutate the lane's "
+        "backing arrays or control event; push() is the safe re-entry"
+    )
+
+    def check(self, file: "SourceFile") -> Iterator[Finding]:
+        if not file.in_package("sim", "cdn", "network", "experiments", "scenarios"):
+            return
+        if file.package_path == "repro/sim/timers.py" or is_exempt(self.code, file):
+            return  # the sweep itself owns the arrays
+        # Map enclosing classes so self.<method> callbacks resolve.
+        for node in ast.walk(file.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(node, file)
+        yield from self._check_bare(file.tree, file)
+
+    # ------------------------------------------------------------------
+    def _check_class(self, cls: ast.ClassDef, file: "SourceFile") -> Iterator[Finding]:
+        methods = _ClassMethods(cls)
+        for method in methods.methods.values():
+            for call in ast.walk(method):
+                if not isinstance(call, ast.Call):
+                    continue
+                if not self._is_lane_ctor(call):
+                    continue
+                for callback_name in self._callback_refs(call):
+                    target = methods.methods.get(callback_name)
+                    if target is None:
+                        continue
+                    yield from self._scan_callback(
+                        target, methods, file, registered=callback_name
+                    )
+
+    def _check_bare(self, root: ast.AST, file: "SourceFile") -> Iterator[Finding]:
+        # Module-level / local-function registrations: resolve bare names.
+        local_funcs: Dict[str, ast.FunctionDef] = {}
+        for node in ast.walk(root):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                local_funcs.setdefault(node.name, node)
+        for node in ast.walk(root):
+            if not isinstance(node, ast.Call) or not self._is_lane_ctor(node):
+                continue
+            for callback_name in self._callback_refs(node, bare=True):
+                target = local_funcs.get(callback_name)
+                if target is not None:
+                    yield from self._scan_callback(
+                        target, _ClassMethods.empty(), file, registered=callback_name
+                    )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _is_lane_ctor(call: ast.Call) -> bool:
+        func = call.func
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None
+        )
+        return name == "CallbackLane"
+
+    @staticmethod
+    def _callback_refs(call: ast.Call, bare: bool = False) -> List[str]:
+        """Names of the callback arguments.
+
+        ``bare=False`` resolves ``self.<method>`` references (handled by
+        the class pass); ``bare=True`` resolves plain-name references
+        only (the module/local pass), so the two passes never both claim
+        the same registration.
+        """
+        names: List[str] = []
+        candidates = list(call.args[1:]) + [kw.value for kw in call.keywords]
+        for arg in candidates:
+            if bare:
+                if isinstance(arg, ast.Name):
+                    names.append(arg.id)
+            elif (
+                isinstance(arg, ast.Attribute)
+                and isinstance(arg.value, ast.Name)
+                and arg.value.id == "self"
+            ):
+                names.append(arg.attr)
+        return names
+
+    def _scan_callback(
+        self,
+        func: ast.FunctionDef,
+        methods: _ClassMethods,
+        file: "SourceFile",
+        registered: str,
+    ) -> Iterator[Finding]:
+        """Flag lane-state writes in *func* and same-class callees."""
+        visited: Set[str] = set()
+        frontier: List[ast.FunctionDef] = [func]
+        while frontier:
+            current = frontier.pop()
+            if current.name in visited:
+                continue
+            visited.add(current.name)
+            yield from self._scan_body(current, file, registered)
+            for node in ast.walk(current):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id == "self"
+                ):
+                    callee = methods.methods.get(node.func.attr)
+                    if callee is not None and callee.name not in visited:
+                        frontier.append(callee)
+
+    def _scan_body(
+        self, func: ast.FunctionDef, file: "SourceFile", registered: str
+    ) -> Iterator[Finding]:
+        for node in ast.walk(func):
+            hit: Optional[Tuple[int, int, str]] = None
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for target in targets:
+                    field = self._written_field(target)
+                    if field is not None:
+                        hit = (node.lineno, node.col_offset, "assigns `.%s`" % field)
+                        break
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    field = self._written_field(target)
+                    if field is not None:
+                        hit = (node.lineno, node.col_offset, "deletes from `.%s`" % field)
+                        break
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                # lane.deadlines.append(...) / schedule_at(lane.control, ..)
+                inner = node.func.value
+                if (
+                    node.func.attr in _MUTATORS
+                    and isinstance(inner, ast.Attribute)
+                    and inner.attr in _LANE_FIELDS
+                ):
+                    hit = (
+                        node.lineno,
+                        node.col_offset,
+                        "calls `.%s.%s(...)`" % (inner.attr, node.func.attr),
+                    )
+                elif node.func.attr in {"schedule", "schedule_at"}:
+                    for arg in node.args:
+                        if isinstance(arg, ast.Attribute) and arg.attr == "control":
+                            hit = (
+                                node.lineno,
+                                node.col_offset,
+                                "schedules a lane `.control` event directly",
+                            )
+                            break
+            if hit is not None:
+                line, col, what = hit
+                yield self.finding(
+                    file,
+                    line,
+                    col,
+                    "callback `%s` (registered on a CallbackLane) %s: mutating "
+                    "lane backing state mid-sweep corrupts the expiry scan; "
+                    "go through the lane's push() API instead" % (registered, what),
+                )
+
+    @staticmethod
+    def _written_field(target: ast.expr) -> Optional[str]:
+        # x.head = ... / x.deadlines[...] = ... / del x.payloads[...]
+        if isinstance(target, ast.Attribute):
+            return _attr_chain_field(target)
+        if isinstance(target, ast.Subscript) and isinstance(
+            target.value, ast.Attribute
+        ):
+            return _attr_chain_field(target.value)
+        return None

@@ -80,7 +80,10 @@ def _build_registry() -> List[_RuleBase]:
     # Imported here (not at module top) so concrete rule modules can
     # `from .rules import FileRule` without a circular import.
     from .determinism import SeededRngOnly, NoWallClock
+    from .ordering import HeapKeyTotality, IterationOrder
     from .purity import ObserverPurity
+    from .reentrancy import LaneReentrancy
+    from .sharedstate import CrossShardState
     from .structure import SlotsManifest, KwOnlyConfigs
     from .timecmp import NoFloatTimeEquality
 
@@ -91,6 +94,10 @@ def _build_registry() -> List[_RuleBase]:
         NoFloatTimeEquality(),
         SlotsManifest(),
         KwOnlyConfigs(),
+        IterationOrder(),
+        HeapKeyTotality(),
+        LaneReentrancy(),
+        CrossShardState(),
     ]
 
 

@@ -1,0 +1,225 @@
+"""REP010 -- cross-shard shared state.
+
+The sharded sweep path (``repro.experiments.sharding`` splitting a
+deployment's users over worker processes, merged by the worker-count-
+invariant fold in ``merge_shard_metrics``) is only correct if every
+shard computes the same thing it would have computed in any other
+worker layout.  Module-level mutable state breaks that silently: a
+counter or cache that one shard advances leaks into the next shard run
+*in the same process* but not across processes, so results depend on
+how runs were packed onto workers.
+
+The rule computes the static import closure (shared with REP003, see
+:mod:`repro.lint.imports`) of the sharded entry points --
+``repro.experiments.sharding`` and ``repro.cdn.cohort`` -- and, in
+every reachable module, flags
+
+- rebinding a module-level name via ``global`` from inside a function
+  (the ``_SEQ += 1`` counter shape), and
+- mutating a module-level container binding (dict/list/set literal or
+  constructor) from inside a function: ``CACHE[key] = ...``,
+  ``REGISTRY.update(...)``, ``ITEMS.append(...)`` and friends.
+
+Import-time mutation (decorator-driven registration executed while the
+module loads) is *not* flagged from module scope: every process runs
+the same imports, so import-time state is identical across shards.
+Function-bodied registration helpers that only ever run at import time
+belong in the exemption manifest with that reason spelled out.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator, List, Sequence, Set, Tuple
+
+from .exemptions import is_exempt
+from .findings import Finding
+from .imports import module_map, reachable_modules
+from .rules import ProjectRule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .engine import SourceFile
+
+__all__ = ["CrossShardState"]
+
+#: Entry points of the sharded code path.
+_SEEDS = ("repro.experiments.sharding", "repro.cdn.cohort")
+
+#: Constructors whose module-level result is a mutable container.
+_MUTABLE_CONSTRUCTORS = frozenset(
+    {"dict", "list", "set", "defaultdict", "OrderedDict", "Counter", "deque"}
+)
+
+#: Container methods that mutate the receiver.
+_MUTATORS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "update",
+        "setdefault",
+        "pop",
+        "popitem",
+        "remove",
+        "discard",
+        "clear",
+        "appendleft",
+        "extendleft",
+    }
+)
+
+
+def _module_mutables(tree: ast.AST) -> Set[str]:
+    """Module-level names bound to mutable containers."""
+    mutables: Set[str] = set()
+    for node in ast.iter_child_nodes(tree):
+        targets: List[ast.expr] = []
+        value = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if value is None:
+            continue
+        if _is_mutable_value(value):
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    mutables.add(target.id)
+    return mutables
+
+
+def _is_mutable_value(value: ast.expr) -> bool:
+    if isinstance(value, (ast.Dict, ast.List, ast.Set, ast.DictComp, ast.ListComp, ast.SetComp)):
+        return True
+    if isinstance(value, ast.Call):
+        func = value.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None
+        )
+        return name in _MUTABLE_CONSTRUCTORS
+    return False
+
+
+def _module_bindings(tree: ast.AST) -> Set[str]:
+    """Every module-level assigned name (for the ``global`` check)."""
+    bound: Set[str] = set()
+    for node in ast.iter_child_nodes(tree):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    bound.add(target.id)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            if isinstance(node.target, ast.Name):
+                bound.add(node.target.id)
+    return bound
+
+
+class _MutationVisitor(ast.NodeVisitor):
+    """Collects function-scope mutations of module-level state."""
+
+    def __init__(self, mutables: Set[str], bindings: Set[str]) -> None:
+        self.mutables = mutables
+        self.bindings = bindings
+        self.hits: List[Tuple[int, int, str]] = []
+        self._depth = 0
+
+    # -- only function bodies count (import-time mutation is uniform) --
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._depth += 1
+        self.generic_visit(node)
+        self._depth -= 1
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_Global(self, node: ast.Global) -> None:
+        if self._depth > 0:
+            for name in node.names:
+                if name in self.bindings or name in self.mutables:
+                    self.hits.append(
+                        (
+                            node.lineno,
+                            node.col_offset,
+                            "rebinds module-level `%s` via `global`: per-process "
+                            "state diverges across shard layouts" % name,
+                        )
+                    )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (
+            self._depth > 0
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _MUTATORS
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id in self.mutables
+        ):
+            self.hits.append(
+                (
+                    node.lineno,
+                    node.col_offset,
+                    "mutates module-level `%s` via `.%s(...)`: shared mutable "
+                    "state leaks between shard runs in one process"
+                    % (node.func.value.id, node.func.attr),
+                )
+            )
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self._depth > 0:
+            for target in node.targets:
+                self._check_subscript(target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if self._depth > 0:
+            self._check_subscript(node.target)
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        if self._depth > 0:
+            for target in node.targets:
+                self._check_subscript(target)
+        self.generic_visit(node)
+
+    def _check_subscript(self, target: ast.expr) -> None:
+        if (
+            isinstance(target, ast.Subscript)
+            and isinstance(target.value, ast.Name)
+            and target.value.id in self.mutables
+        ):
+            self.hits.append(
+                (
+                    target.lineno,
+                    target.col_offset,
+                    "writes module-level `%s[...]`: shared mutable state leaks "
+                    "between shard runs in one process" % target.value.id,
+                )
+            )
+
+
+class CrossShardState(ProjectRule):
+    """REP010 -- no module-level mutable state on sharded code paths."""
+
+    code = "REP010"
+    name = "cross-shard-state"
+    summary = (
+        "modules reachable from the sharded sweep path must not mutate "
+        "module-level state from functions (breaks the merge algebra)"
+    )
+
+    def check_project(self, files: Sequence["SourceFile"]) -> Iterator[Finding]:
+        by_module = module_map(files)
+        reachable = reachable_modules(by_module, _SEEDS)
+        for module in sorted(reachable):
+            file = by_module[module]
+            if is_exempt(self.code, file):
+                continue
+            mutables = _module_mutables(file.tree)
+            bindings = _module_bindings(file.tree)
+            if not mutables and not bindings:
+                continue
+            visitor = _MutationVisitor(mutables, bindings)
+            visitor.visit(file.tree)
+            for line, col, message in visitor.hits:
+                yield self.finding(file, line, col, message)

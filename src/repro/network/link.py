@@ -196,11 +196,15 @@ class _FastTransfer:
         """Re-arm the (already processed) hop event for the next stage.
 
         ``Environment.schedule`` inlined: two messages per request at CDN
-        scale make the extra call measurable.
+        scale make the extra call measurable.  Sanitize runs take the
+        un-inlined path so tie perturbation covers transport hops too.
         """
         hop = self.hop
         hop.callbacks = callbacks
         env = self.env
+        if env.sanitizer is not None:
+            env.schedule(hop, delay=delay)
+            return
         env._eid += 1
         _heappush(env._queue, (env._now + delay, NORMAL, env._eid, hop))
 

@@ -63,13 +63,30 @@ LIGHT_KINDS = frozenset(
     }
 )
 
+#: Process-wide message sequence counter.  Seq values never feed a
+#: simulated outcome (request/response pairing is per-message and the
+#: metrics never read them), but they do appear in trace details, so
+#: :func:`reset_seq` below rebases the counter per deployment build --
+#: traces are then a function of the run, not of process history.
 _SEQ = 0
 
 
 def _next_seq() -> int:
-    global _SEQ
+    global _SEQ  # repro: noqa REP010 -- counter is reset per deployment build (reset_seq); values never feed metrics
     _SEQ += 1
     return _SEQ
+
+
+def reset_seq() -> None:
+    """Rebase the message counter (called once per deployment build).
+
+    Makes trace ``seq`` fields -- and therefore whole trace streams --
+    bit-identical for identical runs regardless of what else the
+    process simulated earlier, which is what lets the schedule
+    sanitizer compare replica traces within one process.
+    """
+    global _SEQ  # repro: noqa REP010 -- the reset that makes the counter run-deterministic
+    _SEQ = 0
 
 
 @dataclass(slots=True)

@@ -240,6 +240,7 @@ class Environment:
         "tracer",
         "legacy_kernel",
         "timers",
+        "sanitizer",
     )
 
     def __init__(
@@ -247,8 +248,10 @@ class Environment:
         initial_time: float = 0.0,
         tracer: Optional[Any] = None,
         legacy_kernel: Optional[bool] = None,
+        sanitizer: Optional[Any] = None,
     ) -> None:
         from ..obs.tracer import NULL_TRACER
+        from .sanitize import sanitizer_from_env
         from .timers import TimerWheel
 
         self._now = float(initial_time)
@@ -264,6 +267,13 @@ class Environment:
         #: ``True`` selects the legacy per-event hot paths throughout the
         #: stack (see :data:`LEGACY_KERNEL_ENV`); fixed at construction.
         self.legacy_kernel = bool(legacy_kernel)
+        #: Schedule sanitizer (see :mod:`repro.sim.sanitize`); ``None``
+        #: outside sanitize runs, fixed at construction like the kernel
+        #: switch.  Every push site -- including the inlined ones in
+        #: ``run`` and the fast transport -- must honor it.
+        self.sanitizer = (
+            sanitizer if sanitizer is not None else sanitizer_from_env()
+        )
         #: Vectorized expiry sweeps for hot-path timers (fast kernel).
         self.timers: "TimerWheel" = TimerWheel(self)
 
@@ -303,7 +313,15 @@ class Environment:
     ) -> None:
         """Schedule *event* ``delay`` time units into the future."""
         self._eid += 1
-        _push(self._queue, (self._now + delay, priority, self._eid, event))
+        sanitizer = self.sanitizer
+        if sanitizer is None:
+            _push(self._queue, (self._now + delay, priority, self._eid, event))
+        else:
+            at = self._now + delay
+            _push(
+                self._queue,
+                (at, priority, sanitizer.tie_key(at, priority, self._eid), event),
+            )
 
     def schedule_at(
         self,
@@ -321,7 +339,14 @@ class Environment:
         events) schedule through this method instead.
         """
         self._eid += 1
-        _push(self._queue, (at, priority, self._eid, event))
+        sanitizer = self.sanitizer
+        if sanitizer is None:
+            _push(self._queue, (at, priority, self._eid, event))
+        else:
+            _push(
+                self._queue,
+                (at, priority, sanitizer.tie_key(at, priority, self._eid), event),
+            )
 
     def step(
         self, _pop: Callable[[List[_QueueEntry]], _QueueEntry] = _heappop
@@ -367,8 +392,11 @@ class Environment:
             until._ok = True
             until._value = None
             # URGENT so the stop event runs before ordinary events at `at`.
-            self._eid += 1
-            _heappush(self._queue, (at, URGENT, self._eid, until))
+            if self.sanitizer is None:
+                self._eid += 1
+                _heappush(self._queue, (at, URGENT, self._eid, until))
+            else:
+                self.schedule_at(until, at, priority=URGENT)
 
         if isinstance(until, Event):
             if until.callbacks is None:

@@ -197,6 +197,9 @@ class CallbackLane:
         cut = bisect_right(deadlines, self.env._now, head, tail)
         is_dead = self.is_dead
         on_expire = self.on_expire
+        sanitizer = self.env.sanitizer
+        if sanitizer is not None and not sanitizer.traps:
+            sanitizer = None
         self._sweeping = True
         try:
             for index in range(head, cut):
@@ -207,6 +210,14 @@ class CallbackLane:
                 else:
                     on_expire(payload)
                     self.expired += 1
+                    if sanitizer is not None:
+                        # Trap the PR 8 corruption shape at its source:
+                        # a callback that touched the arrays mid-sweep.
+                        # ``head`` is the pre-sweep value -- the sweep
+                        # itself only moves it after this loop.
+                        sanitizer.check_lane_after_callback(
+                            self, head, on_expire, payload
+                        )
         finally:
             self._sweeping = False
         self.sweeps += 1

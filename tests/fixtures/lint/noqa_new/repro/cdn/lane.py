@@ -1,0 +1,14 @@
+"""noqa on REP009."""
+
+from repro.sim.timers import CallbackLane
+
+
+class NoqaCohort:
+    def __init__(self, env):
+        self.lane = CallbackLane(env, self._expire, self._is_dead)
+
+    def _expire(self, payload):
+        self.lane.head = 0  # repro: noqa REP009 -- fixture: suppressed
+
+    def _is_dead(self, payload):
+        return payload is None

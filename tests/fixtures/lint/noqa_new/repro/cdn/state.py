@@ -1,0 +1,8 @@
+"""noqa on REP010."""
+
+_HITS = {}
+
+
+def record(key):
+    _HITS[key] = True  # repro: noqa REP010 -- fixture: suppressed
+    return _HITS[key]

@@ -1,0 +1,7 @@
+"""noqa on REP008."""
+
+from heapq import heappush
+
+
+def arm(queue, deadline, event):
+    heappush(queue, (deadline, event))  # repro: noqa REP008 -- fixture: suppressed

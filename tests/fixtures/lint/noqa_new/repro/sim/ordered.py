@@ -1,0 +1,14 @@
+"""noqa on REP007, including a line carrying two different codes."""
+
+import random
+
+
+def fan_out(env, members):
+    for member in set(members):  # repro: noqa REP007 -- fixture: suppressed
+        env.schedule(member)
+    for member in set(members):  # repro: noqa REP002 -- wrong code: still flagged
+        env.schedule(member)
+
+
+def draws(jitter):
+    return [random.random() for node in jitter.values()]  # repro: noqa REP001,REP007 -- one line, two codes

@@ -1,0 +1,5 @@
+"""Reachable only through a function-local import -- still checked."""
+
+
+def poke(env):
+    env.schedule(env.event())

@@ -1,0 +1,5 @@
+"""Ancestor package: runs at import of any submodule -- and schedules."""
+
+
+def _warm(env):
+    env.schedule(env.event())

@@ -1,0 +1,5 @@
+"""The imported leaf itself is pure."""
+
+
+def read(env):
+    return env.now

@@ -1,0 +1,7 @@
+"""Importing a nested module executes its ancestor packages too."""
+
+from ..metrics.inner_pkg import leaf
+
+
+def snapshot(env):
+    return leaf.read(env)

@@ -1,0 +1,18 @@
+"""REP007 negatives: sorted iteration, sink-free view loops, set algebra."""
+
+
+def schedule_sorted(env, members):
+    for member in sorted(members):  # total order restored before the sink
+        env.schedule(member)
+
+
+def tally(counts, items):
+    total = 0
+    for key in items.keys():  # dict view, but the body has no sink
+        total += counts[key]
+    return total
+
+
+def dedupe(values):
+    seen = set(values)
+    return {value for value in seen}  # set -> set: order cannot leak

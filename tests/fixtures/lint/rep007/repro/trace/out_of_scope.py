@@ -1,0 +1,6 @@
+"""REP007 scope check: repro/obs/ is not an ordered-execution area."""
+
+
+def emit_all(env, members):
+    for member in set(members):
+        env.schedule(member)

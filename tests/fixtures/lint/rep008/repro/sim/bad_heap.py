@@ -1,0 +1,11 @@
+"""REP008 positives: heap keys without a total-order tiebreak."""
+
+from heapq import heappush
+
+
+def arm(queue, deadline, event):
+    heappush(queue, (deadline, event))  # ties compare the event objects
+
+
+def arm_by_id(queue, deadline, seq, event):
+    heappush(queue, (deadline, id(event), event))  # id() is run-dependent

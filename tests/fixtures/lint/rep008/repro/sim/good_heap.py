@@ -1,0 +1,15 @@
+"""REP008 negatives: every key ends in a total-order tiebreak."""
+
+from heapq import heappush
+
+
+def arm(queue, deadline, seq, event):
+    heappush(queue, (deadline, seq, event))
+
+
+def arm_urgent(queue, deadline, env, event):
+    heappush(queue, (deadline, 0, env.next_eid(), event))
+
+
+def arm_perturbed(queue, deadline, rand, seq, event):
+    heappush(queue, (deadline, (rand, seq), event))

@@ -1,0 +1,28 @@
+"""REP009 positives: lane callbacks that corrupt their own lane."""
+
+from repro.sim.timers import CallbackLane
+
+
+class MutatingCohort:
+    def __init__(self, env):
+        self.lane = CallbackLane(env, self._expire, self._is_dead)
+
+    def _expire(self, payload):
+        self.lane.deadlines.append(0.0)  # mid-sweep push bypassing push()
+
+    def _is_dead(self, payload):
+        return payload is None
+
+
+class TransitiveCohort:
+    def __init__(self, env):
+        self.lane = CallbackLane(env, self._expire, self._is_dead)
+
+    def _expire(self, payload):
+        self._requeue(payload)
+
+    def _requeue(self, payload):
+        self.lane.head = 0  # reached through a same-class helper
+
+    def _is_dead(self, payload):
+        return payload is None

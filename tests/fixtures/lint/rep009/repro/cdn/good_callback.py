@@ -1,0 +1,29 @@
+"""REP009 negatives: callbacks using the reentrancy-safe lane API."""
+
+from repro.sim.timers import CallbackLane
+
+
+class PushingCohort:
+    def __init__(self, env):
+        self.env = env
+        self.lane = CallbackLane(env, self._expire, self._is_dead)
+
+    def _expire(self, payload):
+        payload.fire()
+        # Re-arming through push() is the supported reentrant operation.
+        self.lane.push(self.env.now + payload.delay, payload)
+
+    def _is_dead(self, payload):
+        return payload.done
+
+
+class ReadingCohort:
+    def __init__(self, env):
+        self.lane = CallbackLane(env, self._expire, self._is_dead)
+
+    def _expire(self, payload):
+        if self.lane.pending:  # reads are fine
+            payload.fire()
+
+    def _is_dead(self, payload):
+        return payload.done

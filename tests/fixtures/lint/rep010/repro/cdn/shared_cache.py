@@ -1,0 +1,19 @@
+"""REP010 positives: module-level mutables mutated at run time."""
+
+_CACHE = {}
+
+_TABLE = {}
+_TABLE["init"] = 0  # import-time fill: identical in every process, clean
+
+_SEQ = 0
+
+
+def lookup(key):
+    _CACHE[key] = True  # run-time write: shards would diverge
+    return _CACHE[key]
+
+
+def bump():
+    global _SEQ  # run-time rebind of module state
+    _SEQ += 1
+    return _SEQ

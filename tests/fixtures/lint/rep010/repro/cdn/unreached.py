@@ -1,0 +1,8 @@
+"""REP010 negative: same shape, but nothing in the seed set imports it."""
+
+_STATE = {}
+
+
+def poke():
+    _STATE["x"] = 1
+    return _STATE

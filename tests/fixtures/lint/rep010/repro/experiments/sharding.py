@@ -1,0 +1,9 @@
+"""REP010 seed module: the shard planner of this miniature tree."""
+
+from ..cdn import shared_cache
+from ..runner import memo
+
+
+def shard(key):
+    memo.remember(key, True)
+    return shared_cache.lookup(key)

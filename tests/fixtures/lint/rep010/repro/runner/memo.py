@@ -1,0 +1,8 @@
+"""Reachable from the seed but exempt: repro/runner/ is manifest-carved."""
+
+_MEMO = {}
+
+
+def remember(key, value):
+    _MEMO[key] = value
+    return value
