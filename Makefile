@@ -6,7 +6,7 @@ PYTEST := PYTHONPATH=src python -m pytest
 .PHONY: smoke lint lint-compile lint-repro lint-ruff typecheck \
 	test bench bench-engine bench-section4 bench-user-plane bench-all \
 	report trace-demo scenario-smoke scale-smoke planet-scale \
-	sanitize-smoke
+	sanitize-smoke analyze-smoke
 
 # Aggregate static-analysis gate.  lint-ruff and typecheck no-op with a
 # notice when ruff/mypy are not installed (offline containers); CI
@@ -86,8 +86,15 @@ bench-all:
 
 # Fig. 20x at CI scale: 10k servers x 100k users through the sharded
 # sweep path, with wall-clock and peak-RSS budgets asserted off the
-# telemetry rollup (same job as CI's scale-smoke).
+# telemetry rollup (same job as CI's scale-smoke).  Sampled tracing is
+# ON (REPRO_TRACE_*: 0.1% rate, rotating JSONL sinks under
+# .scale-trace/) so the budgets also prove tracing fits at planet
+# scale; the sweep writes live progress to .scale-runs.progress.json,
+# tailable from another terminal with
+# `python -m repro watch --registry .scale-runs.json`.
 scale-smoke:
+	REPRO_TRACE_DIR=.scale-trace REPRO_TRACE_RATE=0.001 \
+	REPRO_TRACE_BUDGET=128 \
 	PYTHONPATH=src python -m repro sweep --methods ttl --scale planet \
 		--servers 10000 --users-per-server 10 --user-shards 4 \
 		--workers 4 --registry .scale-runs.json
@@ -100,6 +107,16 @@ planet-scale:
 	PYTHONPATH=src python -m repro sweep --methods ttl --scale planet \
 		--servers 100000 --users-per-server 10 --user-shards 8 \
 		--workers 8 --registry .planet-runs.json
+
+# Cross-run analysis gate: `repro analyze` over the checked-in
+# BENCH_*.json trajectories.  Fails hard (exit 2) on malformed history
+# and renders the self-contained HTML report CI uploads as an artifact
+# (see docs/analysis.md).
+analyze-smoke:
+	PYTHONPATH=src python -m repro analyze BENCH_engine.json \
+		BENCH_section4.json BENCH_user_plane.json \
+		--html .analysis-report.html
+	@test -s .analysis-report.html
 
 report:
 	PYTHONPATH=src python examples/regenerate_experiments.py --scale small

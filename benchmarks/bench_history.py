@@ -34,6 +34,9 @@ after each benchmark session.
 import argparse
 import json
 import os
+import platform
+import socket
+import subprocess
 import sys
 import tempfile
 
@@ -45,6 +48,40 @@ MAX_ENTRIES = 200
 #: Per-benchmark stats carried into the trajectory (the full
 #: pytest-benchmark stats block is ~25 fields of mostly derivable data).
 _KEPT_STATS = ("min", "max", "mean", "median", "stddev", "rounds")
+
+
+def _git_commit():
+    """The current commit hash, or "" when git/repo is unavailable.
+
+    Best-effort by design: benchmarks must record fine from an export
+    tarball or a machine without git.
+    """
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return ""
+    if out.returncode != 0:
+        return ""
+    return out.stdout.strip()
+
+
+def _provenance(doc):
+    """Who/where/what produced this entry: commit hash (best-effort),
+    hostname, and Python version.  ``repro analyze`` groups trajectory
+    entries cross-commit and cross-machine off these fields."""
+    machine_info = doc.get("machine_info") or {}
+    return {
+        "commit": _git_commit(),
+        "host": machine_info.get("node") or socket.gethostname(),
+        "python": machine_info.get("python_version")
+        or platform.python_version(),
+    }
 
 
 def _slim_entry(doc):
@@ -59,11 +96,13 @@ def _slim_entry(doc):
                 "extra_info": bench.get("extra_info") or {},
             }
         )
-    return {
+    entry = {
         "recorded": doc.get("datetime", ""),
         "machine": (doc.get("machine_info") or {}).get("node", ""),
         "benchmarks": benchmarks,
     }
+    entry.update(_provenance(doc))
+    return entry
 
 
 def load_trajectory(path):

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Eleven subcommands mirroring the paper's workflow::
+Thirteen subcommands mirroring the paper's workflow::
 
     python -m repro measure    # Section 3: synthesize + analyse a crawl
     python -m repro evaluate   # Section 4: one method on one infrastructure
@@ -9,6 +9,8 @@ Eleven subcommands mirroring the paper's workflow::
     python -m repro advise     # guidance: recommend a method from rates
     python -m repro report     # regenerate the EXPERIMENTS.md report
     python -m repro trace      # run one traced deployment, dump JSONL events
+    python -m repro watch      # tail a running sweep's live progress
+    python -m repro analyze    # cross-run stats over BENCH_*.json + HTML
     python -m repro lint       # determinism/purity static analysis (REPxxx)
     python -m repro sanitize   # schedule sanitizer: tie-order perturbation
     python -m repro metrics    # harness-telemetry rollup (JSON / Prometheus)
@@ -26,7 +28,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import Any, List, Optional
 
 __all__ = ["main", "build_parser"]
 
@@ -331,11 +333,95 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print the per-layer cause-attribution table (stderr)",
     )
 
+    trace.add_argument(
+        "--sample-rate", type=float, default=None, metavar="RATE",
+        help="deterministic sampled tracing at this per-kind keep rate "
+        "(0..1) instead of a full dump; exact kind totals are always kept",
+    )
+    trace.add_argument(
+        "--sample-seed", type=int, default=None, metavar="SEED",
+        help="seed of the sampling decision stream (default: --seed)",
+    )
+    trace.add_argument(
+        "--budget", type=int, default=256, metavar="N",
+        help="per-kind reservoir budget under --sample-rate (default: 256)",
+    )
+
     report = sub.add_parser("report", help="regenerate the EXPERIMENTS.md report")
     report.add_argument("--scale", choices=("small", "medium"), default="small")
     report.add_argument("--seed", type=int, default=0)
     report.add_argument("--out", default="EXPERIMENTS.md")
+    report.add_argument(
+        "--html", default=None, metavar="PATH",
+        help="also write the cross-run HTML analysis report here (the "
+        "repro-analyze renderer over the repo's BENCH_*.json)",
+    )
     _add_runner_arguments(report)
+
+    watch = sub.add_parser(
+        "watch",
+        help="tail a running sweep's live progress "
+        "(<registry>.progress.json + per-shard worker heartbeats)",
+    )
+    watch.add_argument(
+        "progress", nargs="?", default=None, metavar="PROGRESS_JSON",
+        help="progress file path (default: derived from --registry or "
+        "$REPRO_RUN_REGISTRY as <registry>.progress.json)",
+    )
+    watch.add_argument(
+        "--registry", default=None, metavar="PATH",
+        help="run-registry path whose progress file to tail "
+        "(default: $REPRO_RUN_REGISTRY)",
+    )
+    watch.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="refresh period (default: 2s)",
+    )
+    watch.add_argument(
+        "--once", action="store_true",
+        help="render one snapshot and exit (no tailing)",
+    )
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="cross-run statistical analysis of BENCH_*.json "
+        "trajectories: Mann-Whitney U comparisons, bootstrap CIs, "
+        "trajectory anomaly detection, HTML report",
+    )
+    analyze.add_argument(
+        "trajectories", nargs="*", metavar="BENCH_JSON",
+        help="benchmark trajectory files (default: BENCH_*.json in the "
+        "working directory)",
+    )
+    analyze.add_argument(
+        "--html", default=None, metavar="PATH",
+        help="write the self-contained HTML report here",
+    )
+    analyze.add_argument(
+        "--json", dest="json_out", default=None, metavar="PATH",
+        help="write the raw analysis dict as JSON here",
+    )
+    analyze.add_argument(
+        "--telemetry", default=None, metavar="TELEMETRY_JSON",
+        help="also screen a telemetry artifact's wall/RSS trajectories",
+    )
+    analyze.add_argument(
+        "--seed", type=int, default=0,
+        help="bootstrap resampling seed (default: 0)",
+    )
+    analyze.add_argument(
+        "--resamples", type=int, default=2000,
+        help="bootstrap resample count (default: 2000)",
+    )
+    analyze.add_argument(
+        "--window", type=int, default=5,
+        help="trailing-median window (default: 5)",
+    )
+    analyze.add_argument(
+        "--threshold", type=float, default=1.5,
+        help="outlier ratio threshold against the trailing median "
+        "(default: 1.5)",
+    )
 
     # `repro lint` and `repro sanitize` own their argument surfaces
     # (lint is also runnable as `python -m repro.lint`): main() forwards
@@ -765,7 +851,7 @@ def _cmd_advise(args: argparse.Namespace) -> int:
 def _cmd_trace(args: argparse.Namespace) -> int:
     from .experiments import TestbedConfig, build_deployment, build_system
     from .obs.attribution import format_attribution_table
-    from .obs.tracer import RecordingTracer
+    from .obs.sampling import SamplingTracer, StreamTracer
 
     config = TestbedConfig(
         n_servers=args.servers,
@@ -775,33 +861,62 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         server_ttl_s=args.server_ttl,
         seed=args.seed,
     )
-    tracer = RecordingTracer()
-    if args.system is not None:
-        deployment = build_system(config, args.system, tracer=tracer)
-    else:
-        deployment = build_deployment(
-            config, args.method, args.infrastructure, tracer=tracer
-        )
-    metrics = deployment.run()
-
+    # Events stream to the output as they are emitted -- nothing buffers
+    # the full event list, so a planet-scale dump's memory stays flat.
+    # Under --sample-rate a deterministic SamplingTracer keeps a bounded
+    # stratified reservoir instead (dumped after the run).
+    handle = open(args.out, "w") if args.out else sys.stdout
     filters = dict(
         node=args.node,
         kinds=args.kind,
         since=args.since,
         until=args.until,
     )
-    if args.out:
-        with open(args.out, "w") as handle:
-            written = tracer.dump_jsonl(handle, limit=args.limit, **filters)
+    sampling = args.sample_rate is not None
+    tracer: Any
+    if sampling:
+        tracer = SamplingTracer(
+            seed=args.sample_seed if args.sample_seed is not None else args.seed,
+            rate=args.sample_rate,
+            per_kind_budget=args.budget,
+        )
     else:
-        written = tracer.dump_jsonl(sys.stdout, limit=args.limit, **filters)
+        tracer = StreamTracer(handle, limit=args.limit, **filters)
+    try:
+        if args.system is not None:
+            deployment = build_system(config, args.system, tracer=tracer)
+        else:
+            deployment = build_deployment(
+                config, args.method, args.infrastructure, tracer=tracer
+            )
+        metrics = deployment.run()
+        if sampling:
+            written = 0
+            for event in tracer.events(**filters):
+                if args.limit is not None and written >= args.limit:
+                    break
+                handle.write(event.to_json())
+                handle.write("\n")
+                written += 1
+        else:
+            written = tracer.written
+    finally:
+        if args.out:
+            handle.close()
 
     log = sys.stderr
     log.write("deployment: %s\n" % metrics.name)
+    total = sum(tracer.kind_counts().values())
     log.write(
         "trace: %d event(s) recorded, %d written%s\n"
-        % (len(tracer), written, " to %s" % args.out if args.out else "")
+        % (total, written, " to %s" % args.out if args.out else "")
     )
+    if sampling:
+        held = len(tracer)
+        log.write(
+            "sampling: rate=%g budget=%d seed=%d; %d event(s) held\n"
+            % (tracer.rate, tracer.per_kind_budget, tracer.seed, held)
+        )
     counts = tracer.kind_counts()
     log.write(
         "kinds: %s\n"
@@ -810,6 +925,96 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     if args.attribution:
         for line in format_attribution_table({metrics.name: metrics}):
             log.write(line + "\n")
+    return 0
+
+
+def _resolve_progress_path(args: argparse.Namespace) -> str:
+    import os
+
+    from .obs.live import default_progress_path
+    from .runner.registry import REGISTRY_ENV
+
+    if args.progress:
+        return args.progress
+    registry = args.registry or os.environ.get(REGISTRY_ENV)
+    if not registry:
+        raise SystemExit(
+            "no progress source: pass PROGRESS_JSON, --registry, or set "
+            "$%s" % REGISTRY_ENV
+        )
+    return default_progress_path(registry)
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    import time
+
+    from .obs.live import (
+        heartbeat_dir,
+        read_heartbeats,
+        read_progress,
+        render_watch,
+    )
+
+    path = _resolve_progress_path(args)
+    beats_dir = heartbeat_dir(path)
+    while True:
+        progress = read_progress(path)
+        beats = read_heartbeats(beats_dir)
+        for line in render_watch(progress, beats):
+            print(line)
+        if args.once:
+            return 0
+        if progress is not None and progress.get("status") in (
+            "done", "failed",
+        ):
+            return 0 if progress.get("status") == "done" else 1
+        print()
+        sys.stdout.flush()
+        time.sleep(max(0.1, args.interval))
+
+
+def _default_trajectories() -> List[str]:
+    import glob
+
+    return sorted(glob.glob("BENCH_*.json"))
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    import json
+
+    from .experiments.analysis import (
+        analyze_trajectories,
+        render_html,
+        render_text,
+    )
+
+    paths = args.trajectories or _default_trajectories()
+    if not paths:
+        print("analyze: no BENCH_*.json trajectories found", file=sys.stderr)
+        return 2
+    try:
+        analysis = analyze_trajectories(
+            paths,
+            seed=args.seed,
+            resamples=args.resamples,
+            window=args.window,
+            threshold=args.threshold,
+            telemetry_path=args.telemetry,
+        )
+    except ValueError as error:
+        print("analyze: %s" % error, file=sys.stderr)
+        return 2
+    for line in render_text(analysis):
+        print(line)
+    if args.json_out:
+        with open(args.json_out, "w") as handle:
+            json.dump(analysis, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print("wrote %s" % args.json_out, file=sys.stderr)
+    if args.html:
+        with open(args.html, "w") as handle:
+            handle.write(render_html(analysis))
+        print("wrote %s" % args.html, file=sys.stderr)
     return 0
 
 
@@ -827,6 +1032,20 @@ def _cmd_report(args: argparse.Namespace) -> int:
     with open(args.out, "w") as handle:
         handle.write(markdown)
     print("wrote %s" % args.out)
+    if args.html:
+        from .experiments.analysis import analyze_trajectories, render_html
+
+        trajectories = _default_trajectories()
+        if trajectories:
+            analysis = analyze_trajectories(trajectories, seed=args.seed)
+            with open(args.html, "w") as handle:
+                handle.write(render_html(analysis))
+            print("wrote %s" % args.html)
+        else:
+            print(
+                "report: no BENCH_*.json trajectories; skipping --html",
+                file=sys.stderr,
+            )
     return 0
 
 
@@ -923,6 +1142,8 @@ _COMMANDS = {
     "advise": _cmd_advise,
     "report": _cmd_report,
     "trace": _cmd_trace,
+    "watch": _cmd_watch,
+    "analyze": _cmd_analyze,
     "metrics": _cmd_metrics,
     "profile": _cmd_profile,
 }

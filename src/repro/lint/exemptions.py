@@ -33,6 +33,11 @@ EXEMPTIONS: Dict[str, Dict[str, str]] = {
             "harness telemetry profiles the harness itself; it reads "
             "wall clocks by design and never feeds simulated outcomes"
         ),
+        "repro/obs/live": (
+            "live heartbeats are rate-limited in wall time and stamp "
+            "wall-clock ages for the watcher; purely observational, "
+            "nothing feeds back into simulated outcomes"
+        ),
     },
     "REP010": {
         "repro/runner/": (

@@ -24,10 +24,21 @@ package gives the simulator the same per-event visibility:
   (counters / gauges / histograms) and the ``span("phase")`` profiler,
   rolled up across Runner workers into a ``telemetry.json`` artifact and
   surfaced by ``repro metrics`` / ``repro profile``.
+- :mod:`repro.obs.sampling` -- planet-scale tracing:
+  :class:`SamplingTracer` (deterministic seeded per-kind sampling into
+  stratified reservoirs, bounded memory) with the rotating
+  :class:`JsonlTraceSink` (bounded disk), and :class:`StreamTracer`
+  (write-through filtered dumps for ``repro trace``).
+- :mod:`repro.obs.live` -- live run progress: per-worker
+  :class:`Heartbeat` snapshots and the Runner-side
+  :class:`ProgressTracker` behind ``<registry>.progress.json`` and the
+  ``repro watch`` CLI.
 """
 
 from .attribution import attribution_components, format_attribution_table
 from .counters import FabricCounters, staleness_histogram
+from .live import Heartbeat, ProgressTracker, default_progress_path
+from .sampling import JsonlTraceSink, SamplingTracer, StreamTracer
 from .telemetry import (
     TELEMETRY,
     TELEMETRY_ENV,
@@ -49,6 +60,12 @@ __all__ = [
     "RecordingTracer",
     "NULL_TRACER",
     "EVENT_KINDS",
+    "SamplingTracer",
+    "JsonlTraceSink",
+    "StreamTracer",
+    "Heartbeat",
+    "ProgressTracker",
+    "default_progress_path",
     "FabricCounters",
     "staleness_histogram",
     "attribution_components",

@@ -1,0 +1,399 @@
+"""Scalable tracing: deterministic sampling and streaming JSONL sinks.
+
+The PR 2 :class:`~repro.obs.tracer.RecordingTracer` stores every event
+in memory; at planet scale (100k servers x 1M users, ~10^8 events) that
+is unusable.  This module keeps traces *bounded* on both axes:
+
+- **bounded memory** -- :class:`SamplingTracer` keeps at most
+  ``per_kind_budget`` events per event kind in a stratified reservoir
+  (one reservoir per kind, so rare kinds -- ``node_down``,
+  ``mode_switch`` -- are never starved by the flood of ``visit`` /
+  ``msg_send`` events), plus exact per-kind totals;
+- **bounded disk** -- :class:`JsonlTraceSink` streams sampled events to
+  a rotating JSONL file set (``trace.jsonl``, ``trace.jsonl.1``, ...),
+  capped at ``rotate_kb`` per file and ``keep`` rotated files;
+- **bounded output** -- :class:`StreamTracer` writes filtered events
+  incrementally as they are emitted (the ``repro trace`` path), so a
+  dump never materialises the full event list first.
+
+Determinism: every sampling decision is a pure function of
+``(seed, kind, per-kind index)`` through keyed BLAKE2b -- the same
+primitive :func:`repro.sim.rng.derive_seed` uses -- so the same seed
+always selects the same event set, and the tracer owns a *dedicated*
+decision stream by construction: it never imports ``random``, never
+touches a :class:`~repro.sim.rng.RandomStream`, and never schedules
+kernel events (lint rule REP003 enforces all three).  Attaching a
+sampling tracer therefore cannot change any simulated outcome: traced
+and untraced runs are bit-identical in every metric
+(``tests/test_sampling.py`` proves it, extending the PR 2 on/off
+determinism tests).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from typing import Any, Dict, Iterable, List, Optional, TextIO, Tuple
+
+from .tracer import TraceEvent, Tracer
+
+__all__ = [
+    "SamplingTracer",
+    "JsonlTraceSink",
+    "StreamTracer",
+    "decision_unit",
+    "decision_index",
+]
+
+#: 2**64, the denominator mapping a BLAKE2b digest to [0, 1).
+_UNIT_DENOM = float(1 << 64)
+
+
+def _digest(seed: int, domain: str, kind: str, index: int) -> int:
+    """64-bit keyed BLAKE2b of ``(seed, domain, kind, index)``."""
+    raw = hashlib.blake2b(
+        ("%s:%s:%d" % (domain, kind, index)).encode("utf-8"),
+        key=str(int(seed)).encode("utf-8"),
+        digest_size=8,
+    ).digest()
+    return int.from_bytes(raw, "big")
+
+
+def decision_unit(seed: int, kind: str, index: int) -> float:
+    """The sampling stream: a deterministic value in ``[0, 1)`` for the
+    *index*-th event of *kind* under *seed* (keep iff ``< rate``)."""
+    return _digest(seed, "keep", kind, index) / _UNIT_DENOM
+
+
+def decision_index(seed: int, kind: str, index: int, modulus: int) -> int:
+    """Reservoir slot stream: a deterministic int in ``[0, modulus)``."""
+    if modulus <= 0:
+        raise ValueError("modulus must be positive, got %d" % modulus)
+    return _digest(seed, "slot", kind, index) % modulus
+
+
+class JsonlTraceSink:
+    """A rotating JSON Lines sink for sampled trace events.
+
+    Writes land in *path*; once a file exceeds ``rotate_kb`` KiB it is
+    rotated (``path`` -> ``path.1`` -> ``path.2`` ...) and at most
+    *keep* rotated files are retained, so disk usage is bounded by
+    ``(keep + 1) * rotate_kb`` regardless of run length.
+    """
+
+    def __init__(self, path: str, rotate_kb: int = 4096, keep: int = 3) -> None:
+        if rotate_kb <= 0:
+            raise ValueError("rotate_kb must be positive, got %d" % rotate_kb)
+        if keep < 0:
+            raise ValueError("keep must be >= 0, got %d" % keep)
+        self.path = path
+        self.rotate_bytes = int(rotate_kb) * 1024
+        self.keep = keep
+        self.rows_written = 0
+        self.rotations = 0
+        directory = os.path.dirname(os.path.abspath(path)) or "."
+        os.makedirs(directory, exist_ok=True)
+        self._handle: Optional[TextIO] = open(path, "w")
+        self._bytes = 0
+
+    def write(self, event: TraceEvent) -> None:
+        """Append one event as a JSONL row (rotating when over budget)."""
+        handle = self._handle
+        if handle is None:
+            raise ValueError("sink %s is closed" % self.path)
+        row = event.to_json() + "\n"
+        handle.write(row)
+        self.rows_written += 1
+        self._bytes += len(row)
+        if self._bytes >= self.rotate_bytes:
+            self._rotate()
+
+    def _rotate(self) -> None:
+        assert self._handle is not None
+        self._handle.close()
+        if self.keep == 0:
+            # No rotated files retained: truncate in place.
+            self._handle = open(self.path, "w")
+        else:
+            oldest = "%s.%d" % (self.path, self.keep)
+            if os.path.exists(oldest):
+                os.unlink(oldest)
+            for index in range(self.keep - 1, 0, -1):
+                source = "%s.%d" % (self.path, index)
+                if os.path.exists(source):
+                    os.replace(source, "%s.%d" % (self.path, index + 1))
+            os.replace(self.path, self.path + ".1")
+            self._handle = open(self.path, "w")
+        self._bytes = 0
+        self.rotations += 1
+
+    def files(self) -> List[str]:
+        """Existing sink files, newest first (``path``, ``path.1``, ...)."""
+        found = [self.path] if os.path.exists(self.path) else []
+        for index in range(1, self.keep + 1):
+            rotated = "%s.%d" % (self.path, index)
+            if os.path.exists(rotated):
+                found.append(rotated)
+        return found
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JsonlTraceSink":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class _KindReservoir:
+    """Uniform reservoir of at most *budget* events of one kind.
+
+    Classic algorithm R, with the replacement index drawn from the
+    deterministic slot stream instead of an RNG: over the first ``n``
+    *kept* events each has probability ``budget / n`` of being present.
+    """
+
+    __slots__ = ("budget", "kept", "entries")
+
+    def __init__(self, budget: int) -> None:
+        self.budget = budget
+        #: Events that passed the rate filter (reservoir candidates).
+        self.kept = 0
+        #: ``(emit_seq, event)`` pairs currently held.
+        self.entries: List[Tuple[int, TraceEvent]] = []
+
+    def offer(self, seed: int, kind: str, seq: int, event: TraceEvent) -> None:
+        self.kept += 1
+        if self.budget <= 0:
+            return
+        if len(self.entries) < self.budget:
+            self.entries.append((seq, event))
+            return
+        slot = decision_index(seed, kind, self.kept, self.kept)
+        if slot < self.budget:
+            self.entries[slot] = (seq, event)
+
+
+class SamplingTracer(Tracer):
+    """A bounded-memory tracer for planet-scale runs.
+
+    Parameters
+    ----------
+    seed:
+        Seeds the decision stream.  Same seed + same event sequence =>
+        same sampled event set, always.
+    rate:
+        Fraction of events (per kind) admitted past the pre-filter, in
+        ``[0, 1]``.  ``1.0`` admits everything (the reservoirs still
+        bound memory).
+    per_kind_budget:
+        Reservoir capacity per event kind.  Each kind keeps a uniform
+        sample of at most this many of its admitted events, so rare
+        kinds survive no matter how loud the common ones are.
+    rates:
+        Optional per-kind overrides of *rate* (e.g. ``{"visit": 0.01}``
+        to thin the flood while keeping every failure event).
+    sink:
+        Optional :class:`JsonlTraceSink` (or anything with a
+        ``write(event)`` method); every *admitted* event streams to it
+        as it happens, before reservoir eviction can drop it.
+
+    Exact per-kind emit totals are always kept (``kind_counts``), so
+    reconciliation against fabric counters still works under sampling.
+    """
+
+    __slots__ = (
+        "seed",
+        "rate",
+        "per_kind_budget",
+        "rates",
+        "sink",
+        "_counts",
+        "_admitted",
+        "_reservoirs",
+        "_seq",
+    )
+    enabled = True
+
+    def __init__(
+        self,
+        seed: int = 0,
+        rate: float = 1.0,
+        per_kind_budget: int = 256,
+        rates: Optional[Dict[str, float]] = None,
+        sink: Optional[JsonlTraceSink] = None,
+    ) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("rate must be in [0, 1], got %r" % (rate,))
+        if per_kind_budget < 0:
+            raise ValueError(
+                "per_kind_budget must be >= 0, got %d" % per_kind_budget
+            )
+        self.seed = int(seed)
+        self.rate = float(rate)
+        self.per_kind_budget = int(per_kind_budget)
+        self.rates: Dict[str, float] = dict(rates) if rates else {}
+        for kind, value in self.rates.items():
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(
+                    "rate for kind %r must be in [0, 1], got %r" % (kind, value)
+                )
+        self.sink = sink
+        #: Exact emit totals per kind (sampling never loses the counts).
+        self._counts: Dict[str, int] = {}
+        #: Events admitted past the rate filter, per kind.
+        self._admitted: Dict[str, int] = {}
+        self._reservoirs: Dict[str, _KindReservoir] = {}
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Events currently held in memory (bounded by kinds x budget)."""
+        return sum(len(r.entries) for r in self._reservoirs.values())
+
+    def emit(self, time: float, kind: str, node: str, **detail: Any) -> None:
+        count = self._counts.get(kind, 0) + 1
+        self._counts[kind] = count
+        rate = self.rates.get(kind, self.rate)
+        if rate < 1.0 and decision_unit(self.seed, kind, count) >= rate:
+            return
+        self._admitted[kind] = self._admitted.get(kind, 0) + 1
+        self._seq += 1
+        event = TraceEvent(time, kind, node, detail)
+        sink = self.sink
+        if sink is not None:
+            sink.write(event)
+        reservoir = self._reservoirs.get(kind)
+        if reservoir is None:
+            reservoir = self._reservoirs[kind] = _KindReservoir(
+                self.per_kind_budget
+            )
+        reservoir.offer(self.seed, kind, self._seq, event)
+
+    # ------------------------------------------------------------------
+    def events(
+        self,
+        node: Optional[str] = None,
+        kinds: Optional[Iterable[str]] = None,
+        since: Optional[float] = None,
+        until: Optional[float] = None,
+    ) -> List[TraceEvent]:
+        """Reservoir contents in emit order, filtered like
+        :meth:`RecordingTracer.events`."""
+        wanted = frozenset(kinds) if kinds is not None else None
+        stamped: List[Tuple[int, TraceEvent]] = []
+        for kind, reservoir in self._reservoirs.items():
+            if wanted is not None and kind not in wanted:
+                continue
+            for seq, event in reservoir.entries:
+                if node is not None and event.node != node:
+                    continue
+                if since is not None and event.time < since:
+                    continue
+                if until is not None and event.time >= until:
+                    continue
+                stamped.append((seq, event))
+        stamped.sort(key=lambda pair: pair[0])
+        return [event for _, event in stamped]
+
+    def kind_counts(self) -> Dict[str, int]:
+        """EXACT emit totals per kind (independent of sampling)."""
+        return dict(self._counts)
+
+    def admitted_counts(self) -> Dict[str, int]:
+        """Events past the rate filter per kind (== streamed to a sink)."""
+        return dict(self._admitted)
+
+    def held_counts(self) -> Dict[str, int]:
+        """Events currently in each kind's reservoir."""
+        return {
+            kind: len(reservoir.entries)
+            for kind, reservoir in self._reservoirs.items()
+        }
+
+    def summary(self) -> Dict[str, Any]:
+        """One JSON-safe dict describing what sampling did."""
+        total = sum(self._counts.values())
+        admitted = sum(self._admitted.values())
+        return {
+            "seed": self.seed,
+            "rate": self.rate,
+            "per_kind_budget": self.per_kind_budget,
+            "emitted": total,
+            "admitted": admitted,
+            "held": len(self),
+            "kinds": len(self._counts),
+            "sink_rows": self.sink.rows_written if self.sink is not None else 0,
+        }
+
+    def close(self) -> None:
+        """Close the attached sink (reservoir contents stay readable)."""
+        if self.sink is not None:
+            self.sink.close()
+
+
+class StreamTracer(Tracer):
+    """Write-through tracer: filtered events stream out as they happen.
+
+    This is the ``repro trace`` path for big deployments -- nothing is
+    retained in memory beyond exact per-kind counts, so a planet-scale
+    dump's RSS does not grow with the event count.  Filters match
+    :meth:`RecordingTracer.events` (``since`` inclusive, ``until``
+    exclusive); *limit* caps the rows written (counting continues).
+    """
+
+    __slots__ = (
+        "_stream",
+        "node",
+        "kinds",
+        "since",
+        "until",
+        "limit",
+        "written",
+        "_counts",
+    )
+    enabled = True
+
+    def __init__(
+        self,
+        stream: TextIO,
+        node: Optional[str] = None,
+        kinds: Optional[Iterable[str]] = None,
+        since: Optional[float] = None,
+        until: Optional[float] = None,
+        limit: Optional[int] = None,
+    ) -> None:
+        self._stream = stream
+        self.node = node
+        self.kinds = frozenset(kinds) if kinds is not None else None
+        self.since = since
+        self.until = until
+        self.limit = limit
+        self.written = 0
+        self._counts: Dict[str, int] = {}
+
+    def emit(self, time: float, kind: str, node: str, **detail: Any) -> None:
+        self._counts[kind] = self._counts.get(kind, 0) + 1
+        if self.limit is not None and self.written >= self.limit:
+            return
+        if self.node is not None and node != self.node:
+            return
+        if self.kinds is not None and kind not in self.kinds:
+            return
+        if self.since is not None and time < self.since:
+            return
+        if self.until is not None and time >= self.until:
+            return
+        self._stream.write(TraceEvent(time, kind, node, detail).to_json())
+        self._stream.write("\n")
+        self.written += 1
+
+    def kind_counts(self) -> Dict[str, int]:
+        """Exact emit totals per kind (pre-filter)."""
+        return dict(self._counts)
+
+    def total_emitted(self) -> int:
+        return sum(self._counts.values())

@@ -43,6 +43,7 @@ from __future__ import annotations
 import functools
 import json
 import os
+import sys
 import tempfile
 import time
 from bisect import bisect_right
@@ -109,8 +110,11 @@ def peak_rss_kb() -> int:
     except ImportError:  # pragma: no cover - non-POSIX platform
         return 0
     usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-    # Linux reports KiB; macOS reports bytes.
-    if os.uname().sysname == "Darwin":  # pragma: no cover - platform-specific
+    # ru_maxrss units differ by platform: Linux reports KiB, macOS
+    # reports bytes.  ``sys.platform`` (not ``os.uname()``) so the
+    # branch is testable by monkeypatching and works where uname is
+    # unavailable.
+    if sys.platform == "darwin":
         usage //= 1024
     return int(usage)
 

@@ -8,6 +8,13 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from ..obs.live import (
+    PROGRESS_DIR_ENV,
+    Heartbeat,
+    ProgressTracker,
+    default_progress_path,
+    heartbeat_dir,
+)
 from ..obs.telemetry import (
     TELEMETRY,
     append_run_entry,
@@ -31,6 +38,17 @@ __all__ = [
 #: Environment variable setting the default worker count.  Unset or
 #: ``1`` means serial; ``0`` or ``auto`` means one worker per CPU.
 WORKERS_ENV = "REPRO_WORKERS"
+
+#: Environment variables enabling per-spec sampled tracing inside
+#: workers: a directory for the rotating JSONL sinks, plus the sampling
+#: knobs (see :class:`repro.obs.sampling.SamplingTracer`).  Env-carried
+#: (like :data:`PROGRESS_DIR_ENV`) so fork/spawn workers inherit them
+#: without widening the picklable pool payload.
+TRACE_DIR_ENV = "REPRO_TRACE_DIR"
+TRACE_RATE_ENV = "REPRO_TRACE_RATE"
+TRACE_BUDGET_ENV = "REPRO_TRACE_BUDGET"
+TRACE_SEED_ENV = "REPRO_TRACE_SEED"
+TRACE_ROTATE_KB_ENV = "REPRO_TRACE_ROTATE_KB"
 
 
 def resolve_workers(workers: Union[int, str, None] = None) -> int:
@@ -174,6 +192,48 @@ class RunOutcome:
         return list(zip(self.specs, self.metrics))
 
 
+def _spec_stem(spec: RunSpec) -> str:
+    """Filesystem-safe per-spec file stem (label plus short hash, so
+    grid cells that share a label never collide)."""
+    safe = "".join(
+        c if c.isalnum() or c in "._-" else "_" for c in spec.label
+    )
+    return "%s-%s" % (safe, spec.key()[:8])
+
+
+def _heartbeat_from_env(spec: RunSpec) -> Optional[Heartbeat]:
+    """A live-progress heartbeat when ``REPRO_PROGRESS_DIR`` is set."""
+    directory = os.environ.get(PROGRESS_DIR_ENV, "")
+    if not directory:
+        return None
+    return Heartbeat(
+        os.path.join(directory, _spec_stem(spec) + ".json"),
+        label=spec.label,
+        horizon=spec.config.run_horizon_s,
+    )
+
+
+def _tracer_from_env(spec: RunSpec):
+    """A sampling tracer + rotating sink when ``REPRO_TRACE_DIR`` is
+    set (see the ``TRACE_*_ENV`` knobs)."""
+    directory = os.environ.get(TRACE_DIR_ENV, "")
+    if not directory:
+        return None
+    from ..obs.sampling import JsonlTraceSink, SamplingTracer
+
+    seed_raw = os.environ.get(TRACE_SEED_ENV, "")
+    sink = JsonlTraceSink(
+        os.path.join(directory, _spec_stem(spec) + ".trace.jsonl"),
+        rotate_kb=int(os.environ.get(TRACE_ROTATE_KB_ENV, "4096")),
+    )
+    return SamplingTracer(
+        seed=int(seed_raw) if seed_raw else spec.config.seed,
+        rate=float(os.environ.get(TRACE_RATE_ENV, "1.0")),
+        per_kind_budget=int(os.environ.get(TRACE_BUDGET_ENV, "256")),
+        sink=sink,
+    )
+
+
 def _execute_spec(spec: RunSpec):
     """Top-level worker entry point (must be picklable for spawn).
 
@@ -181,11 +241,26 @@ def _execute_spec(spec: RunSpec):
     delta covers exactly this execution -- fork-started workers inherit
     the parent's telemetry state, so shipping a raw snapshot back would
     double-count everything recorded before the fork.
+
+    When the Runner (or the user) exported ``REPRO_PROGRESS_DIR`` /
+    ``REPRO_TRACE_DIR``, the deployment runs with a live heartbeat
+    and/or a sampled trace attached.  Both are purely observational:
+    the returned metrics are bit-identical either way.
     """
     before = TELEMETRY.snapshot()
     started = time.perf_counter()
     with span("spec.execute"):
-        metrics = spec.execute()
+        heartbeat = _heartbeat_from_env(spec)
+        tracer = _tracer_from_env(spec)
+        try:
+            metrics = spec.execute(tracer=tracer, progress=heartbeat)
+        finally:
+            if tracer is not None:
+                tracer.close()
+        if heartbeat is not None:
+            heartbeat.finish(
+                spec.config.run_horizon_s, metrics.events_processed
+            )
     elapsed = time.perf_counter() - started
     return metrics, elapsed, TELEMETRY.delta_since(before)
 
@@ -255,6 +330,7 @@ class Runner:
         merged = 0
         worker_deltas: List[Dict[str, Any]] = []
         pooled = False
+        tracker = self._progress_tracker()
         with span("runner.run"):
             TELEMETRY.gauge("runner.workers", self.workers)
             for index, spec in enumerate(specs):
@@ -267,9 +343,15 @@ class Runner:
                 else:
                     pending.append((index, spec))
 
+            if tracker is not None:
+                tracker.begin(
+                    len(specs), cache_hits, len(pending), self.workers
+                )
             if pending:
                 pooled = self.workers > 1 and len(pending) > 1
-                outputs = self._execute([spec for _, spec in pending])
+                outputs = self._execute(
+                    [spec for _, spec in pending], tracker
+                )
                 for (index, spec), (result, elapsed, delta) in zip(
                     pending, outputs
                 ):
@@ -313,7 +395,24 @@ class Runner:
         )
         if rollup is not None and self.registry is not None:
             self._emit_telemetry_artifact(stats, rollup)
+        if tracker is not None:
+            tracker.finish(
+                {
+                    "executed": stats.executed,
+                    "cache_hits": stats.cache_hits,
+                    "wall_time_s": stats.wall_time_s,
+                    "events_processed": stats.events_processed,
+                    "peak_rss_kb": stats.peak_rss_kb,
+                }
+            )
         return RunOutcome(specs=specs, metrics=metrics, stats=stats)
+
+    def _progress_tracker(self) -> Optional[ProgressTracker]:
+        """A :class:`ProgressTracker` next to the run registry, or
+        ``None`` without one (nowhere canonical to put the file)."""
+        if self.registry is None:
+            return None
+        return ProgressTracker(default_progress_path(self.registry.path))
 
     def _emit_telemetry_artifact(
         self, stats: RunStats, rollup: Dict[str, Any]
@@ -339,14 +438,75 @@ class Runner:
         except OSError:  # pragma: no cover - disk-full / permissions
             pass
 
-    def _execute(self, specs: Sequence[RunSpec]) -> List:
-        if self.workers > 1 and len(specs) > 1:
-            context = multiprocessing.get_context(self.start_method)
-            pool_size = min(self.workers, len(specs))
-            with context.Pool(pool_size) as pool:
-                # chunksize=1: deployments are coarse, balance the load.
-                return pool.map(_execute_spec, specs, chunksize=1)
-        return [_execute_spec(spec) for spec in specs]
+    def _execute(
+        self,
+        specs: Sequence[RunSpec],
+        tracker: Optional[ProgressTracker] = None,
+    ) -> List:
+        """Run *specs*, reporting each completion to *tracker* live.
+
+        Results come back in spec order regardless of completion order
+        (``apply_async`` handles are collected in submission order), so
+        outcomes stay bit-identical with or without a tracker.
+        """
+        cleanup_env = self._export_heartbeat_dir(tracker)
+        try:
+            if self.workers > 1 and len(specs) > 1:
+                context = multiprocessing.get_context(self.start_method)
+                pool_size = min(self.workers, len(specs))
+                with context.Pool(pool_size) as pool:
+                    if tracker is None:
+                        # chunksize=1: deployments are coarse, balance
+                        # the load.
+                        return pool.map(_execute_spec, specs, chunksize=1)
+                    # One task per apply_async call is the same
+                    # chunksize=1 balancing, plus a completion callback
+                    # (fires on the pool's result-handler thread) that
+                    # feeds the live progress file as specs finish.
+                    handles = []
+                    for spec in specs:
+
+                        def _done(output: Any, _label: str = spec.label) -> None:
+                            tracker.spec_done(_label, output[1])
+
+                        handles.append(
+                            pool.apply_async(
+                                _execute_spec, (spec,), callback=_done
+                            )
+                        )
+                    return [handle.get() for handle in handles]
+            outputs = []
+            for spec in specs:
+                output = _execute_spec(spec)
+                if tracker is not None:
+                    tracker.spec_done(spec.label, output[1])
+                outputs.append(output)
+            return outputs
+        finally:
+            if cleanup_env:
+                os.environ.pop(PROGRESS_DIR_ENV, None)
+
+    def _export_heartbeat_dir(
+        self, tracker: Optional[ProgressTracker]
+    ) -> bool:
+        """Point workers at a fresh heartbeat directory via the
+        environment (fork/spawn children inherit it).  Returns whether
+        this call owns the variable and must pop it afterwards."""
+        if tracker is None or os.environ.get(PROGRESS_DIR_ENV):
+            return False
+        directory = heartbeat_dir(tracker.path)
+        try:
+            os.makedirs(directory, exist_ok=True)
+            for name in os.listdir(directory):
+                if name.endswith(".json"):  # stale beats from a past run
+                    try:
+                        os.unlink(os.path.join(directory, name))
+                    except OSError:  # pragma: no cover - races are fine
+                        pass
+        except OSError:  # pragma: no cover - unwritable: skip heartbeats
+            return False
+        os.environ[PROGRESS_DIR_ENV] = directory
+        return True
 
 
 def run_specs(

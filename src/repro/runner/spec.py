@@ -131,7 +131,7 @@ class RunSpec:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
-    def build(self):
+    def build(self, tracer: Any = None):
         """Wire the deployment this spec describes (not yet run)."""
         # Imported lazily: repro.experiments' figure drivers import this
         # package at module level.
@@ -143,6 +143,7 @@ class RunSpec:
                 self.method,
                 scenario=self.scenario,
                 scenario_cell=self.scenario_cell,
+                tracer=tracer,
             )
         return build_deployment(
             self.config,
@@ -150,8 +151,18 @@ class RunSpec:
             self.infrastructure,
             scenario=self.scenario,
             scenario_cell=self.scenario_cell,
+            tracer=tracer,
         )
 
-    def execute(self):
-        """Build and run to the config's horizon; returns the metrics."""
-        return self.build().run()
+    def execute(self, tracer: Any = None, progress: Any = None):
+        """Build and run to the config's horizon; returns the metrics.
+
+        *tracer* and *progress* are observability hooks (a
+        :mod:`repro.obs` tracer and an engine progress callable); both
+        are purely observational, so attaching them cannot change the
+        returned metrics.
+        """
+        deployment = self.build(tracer=tracer)
+        if progress is not None:
+            deployment.env.progress = progress
+        return deployment.run()

@@ -241,7 +241,12 @@ class Environment:
         "legacy_kernel",
         "timers",
         "sanitizer",
+        "progress",
     )
+
+    #: Events between two progress-hook invocations (power of two: the
+    #: instrumented loop tests ``processed & MASK == 0``).
+    PROGRESS_STRIDE = 4096
 
     def __init__(
         self,
@@ -274,6 +279,12 @@ class Environment:
         self.sanitizer = (
             sanitizer if sanitizer is not None else sanitizer_from_env()
         )
+        #: Optional live-progress hook ``f(sim_time, events_processed)``
+        #: (see :mod:`repro.obs.live`).  ``None`` keeps the hot loop
+        #: untouched; when set, ``run()`` invokes it every
+        #: :data:`PROGRESS_STRIDE` processed events.  Hooks are purely
+        #: observational: they must never schedule events or draw RNG.
+        self.progress: Optional[Callable[[float, int], None]] = None
         #: Vectorized expiry sweeps for hot-path timers (fast kernel).
         self.timers: "TimerWheel" = TimerWheel(self)
 
@@ -410,23 +421,45 @@ class Environment:
         events_before = self._events_processed
         queue = self._queue
         timeout_pool = self._timeout_pool
+        progress = self.progress
+        stride_mask = self.PROGRESS_STRIDE - 1
         try:
             with TELEMETRY.span("engine.run"):
                 # :meth:`step` inlined: one method call per event is the
                 # largest fixed cost of the hot loop at CDN scale.  Any
                 # behavioural change here must be mirrored in ``step``.
-                while queue:
-                    self._now, _, _, event = _heappop(queue)
-                    callbacks, event.callbacks = event.callbacks, None
-                    if callbacks is None:  # pragma: no cover - cancelled
-                        continue
-                    self._events_processed += 1
-                    for callback in callbacks:
-                        callback(event)
-                    if not event._ok and not event._defused:
-                        raise event._value
-                    if event.__class__ is _PooledTimeout:
-                        timeout_pool.append(event)
+                # Two copies of the loop: the second adds the live
+                # progress hook (one masked compare per event) and is
+                # taken only when a hook is installed, so the default
+                # path pays nothing.
+                if progress is None:
+                    while queue:
+                        self._now, _, _, event = _heappop(queue)
+                        callbacks, event.callbacks = event.callbacks, None
+                        if callbacks is None:  # pragma: no cover - cancelled
+                            continue
+                        self._events_processed += 1
+                        for callback in callbacks:
+                            callback(event)
+                        if not event._ok and not event._defused:
+                            raise event._value
+                        if event.__class__ is _PooledTimeout:
+                            timeout_pool.append(event)
+                else:
+                    while queue:
+                        self._now, _, _, event = _heappop(queue)
+                        callbacks, event.callbacks = event.callbacks, None
+                        if callbacks is None:  # pragma: no cover - cancelled
+                            continue
+                        self._events_processed += 1
+                        if self._events_processed & stride_mask == 0:
+                            progress(self._now, self._events_processed)
+                        for callback in callbacks:
+                            callback(event)
+                        if not event._ok and not event._defused:
+                            raise event._value
+                        if event.__class__ is _PooledTimeout:
+                            timeout_pool.append(event)
                 raise EmptySchedule()
         except StopSimulation as stop:
             return stop.args[0]
@@ -436,6 +469,8 @@ class Environment:
                     "no scheduled events left but \"until\" event was not triggered"
                 ) from None
         finally:
+            if progress is not None:
+                progress(self._now, self._events_processed)
             TELEMETRY.count(
                 "engine.events", self._events_processed - events_before
             )

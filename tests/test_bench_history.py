@@ -126,6 +126,45 @@ class TestBenchHistory:
         )
         assert code == 2
 
+    def test_entries_carry_provenance(self, tmp_path):
+        # Each appended entry records who/where/what produced it, so
+        # `repro analyze` can group history cross-commit/cross-machine.
+        path = _trajectory(tmp_path, 0.010)
+        entry = bench_history.load_trajectory(path)["history"][0]
+        assert "commit" in entry  # "" when git is unavailable
+        assert entry["host"] == "testhost"  # machine_info node wins
+        assert entry["python"]  # machine_info or interpreter version
+        # Run from inside this repo, the commit is a real hash.
+        commit = bench_history._git_commit()
+        if commit:
+            assert entry["commit"] == commit
+            assert len(commit) == 40
+            int(commit, 16)
+
+    def test_provenance_falls_back_without_machine_info(self, tmp_path,
+                                                        monkeypatch):
+        import platform
+        import socket
+
+        monkeypatch.setattr(bench_history, "_git_commit", lambda: "")
+        doc = _snapshot(0.010)
+        del doc["machine_info"]
+        path = str(tmp_path / "BENCH_test.json")
+        bench_history.append_snapshot(path, doc)
+        entry = bench_history.load_trajectory(path)["history"][0]
+        assert entry["commit"] == ""
+        assert entry["host"] == socket.gethostname()
+        assert entry["python"] == platform.python_version()
+
+    def test_git_commit_best_effort_on_failure(self, monkeypatch):
+        import subprocess
+
+        def explode(*args, **kwargs):
+            raise OSError("no git binary")
+
+        monkeypatch.setattr(subprocess, "run", explode)
+        assert bench_history._git_commit() == ""
+
 
 class TestCheckBench:
     def test_passes_on_stable_trajectory(self, tmp_path, capsys):

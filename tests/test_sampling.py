@@ -1,0 +1,308 @@
+"""Tests for planet-scale tracing (repro.obs.sampling):
+
+- deterministic sampling: same seed -> bit-identical sampled event set;
+  different seeds -> different sets; decisions are a pure function of
+  (seed, kind, index), independent of interleaving across kinds;
+- metrics invariance: the ISSUE 10 differential -- bit-identical
+  DeploymentMetrics with sampling on/off (extending the PR 2 tracer
+  on/off test), and the sampled set is a subset of the full recording;
+- stratified reservoirs: rare kinds survive a flood of common kinds;
+  per-kind memory stays bounded by the budget; exact per-kind totals
+  are always kept;
+- the rotating JSONL sink: bounded disk, rotation order, closed-sink
+  errors;
+- StreamTracer write-through filtering and limits;
+- the streaming / sampling `repro trace` CLI surfaces.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.experiments.config import TestbedConfig
+from repro.experiments.testbed import build_deployment
+from repro.obs.sampling import (
+    JsonlTraceSink,
+    SamplingTracer,
+    StreamTracer,
+    decision_index,
+    decision_unit,
+)
+from repro.obs.tracer import RecordingTracer
+
+
+class TestDecisionStream:
+    def test_unit_deterministic_and_in_range(self):
+        for kind in ("visit", "msg_send", "node_down"):
+            for index in range(50):
+                value = decision_unit(7, kind, index)
+                assert 0.0 <= value < 1.0
+                assert value == decision_unit(7, kind, index)
+
+    def test_unit_varies_by_seed_kind_index(self):
+        base = decision_unit(1, "visit", 3)
+        assert base != decision_unit(2, "visit", 3)
+        assert base != decision_unit(1, "msg_send", 3)
+        assert base != decision_unit(1, "visit", 4)
+
+    def test_index_range_and_determinism(self):
+        for modulus in (1, 7, 256):
+            for index in range(20):
+                slot = decision_index(5, "visit", index, modulus)
+                assert 0 <= slot < modulus
+                assert slot == decision_index(5, "visit", index, modulus)
+
+    def test_index_rejects_non_positive_modulus(self):
+        with pytest.raises(ValueError):
+            decision_index(0, "visit", 1, 0)
+
+
+def _emit_mixed(tracer, n_common=500, n_rare=3):
+    for index in range(n_common):
+        tracer.emit(float(index), "visit", "u%d" % (index % 5), step=index)
+        tracer.emit(float(index) + 0.5, "msg_send", "s0", kb=1.0)
+    for index in range(n_rare):
+        tracer.emit(100.0 + index, "node_down", "s%d" % index)
+
+
+class TestSamplingTracer:
+    def test_same_seed_same_sampled_set(self):
+        one, two = SamplingTracer(seed=3, rate=0.4, per_kind_budget=32), \
+            SamplingTracer(seed=3, rate=0.4, per_kind_budget=32)
+        _emit_mixed(one)
+        _emit_mixed(two)
+        assert [e.to_json() for e in one.events()] == [
+            e.to_json() for e in two.events()
+        ]
+        assert one.kind_counts() == two.kind_counts()
+        assert one.admitted_counts() == two.admitted_counts()
+
+    def test_different_seed_different_set(self):
+        one, two = SamplingTracer(seed=1, rate=0.4, per_kind_budget=32), \
+            SamplingTracer(seed=2, rate=0.4, per_kind_budget=32)
+        _emit_mixed(one)
+        _emit_mixed(two)
+        assert [e.to_json() for e in one.events()] != [
+            e.to_json() for e in two.events()
+        ]
+
+    def test_rare_kinds_never_starved(self):
+        # 10k common events cannot evict the 3 rare ones: stratified
+        # per-kind reservoirs, not one shared pool.
+        tracer = SamplingTracer(seed=0, rate=1.0, per_kind_budget=8)
+        _emit_mixed(tracer, n_common=10_000, n_rare=3)
+        assert len(tracer.events(kinds=["node_down"])) == 3
+        assert tracer.kind_counts()["node_down"] == 3
+
+    def test_memory_bounded_by_kind_budget(self):
+        tracer = SamplingTracer(seed=0, rate=1.0, per_kind_budget=16)
+        _emit_mixed(tracer, n_common=5000)
+        held = tracer.held_counts()
+        assert all(count <= 16 for count in held.values())
+        assert len(tracer) == sum(held.values())
+        # Exact totals survive sampling.
+        assert tracer.kind_counts()["visit"] == 5000
+
+    def test_rate_filter_thins_per_kind(self):
+        tracer = SamplingTracer(
+            seed=0, rate=1.0, rates={"visit": 0.1}, per_kind_budget=10_000
+        )
+        _emit_mixed(tracer, n_common=2000, n_rare=3)
+        admitted = tracer.admitted_counts()
+        # ~10% of visits, every msg_send and node_down.
+        assert 100 < admitted["visit"] < 300
+        assert admitted["msg_send"] == 2000
+        assert admitted["node_down"] == 3
+
+    def test_events_filters_match_recording_tracer(self):
+        sampler = SamplingTracer(seed=0, rate=1.0, per_kind_budget=10_000)
+        recorder = RecordingTracer()
+        for tracer in (sampler, recorder):
+            _emit_mixed(tracer, n_common=50, n_rare=2)
+        kwargs = dict(node="s0", kinds=["msg_send"], since=10.0, until=40.0)
+        assert [e.to_json() for e in sampler.events(**kwargs)] == [
+            e.to_json() for e in recorder.events(**kwargs)
+        ]
+
+    def test_sampled_set_is_subset_of_full_recording(self):
+        sampler = SamplingTracer(seed=9, rate=0.25, per_kind_budget=64)
+        recorder = RecordingTracer()
+        for tracer in (sampler, recorder):
+            _emit_mixed(tracer)
+        full = {e.to_json() for e in recorder.events()}
+        assert all(e.to_json() in full for e in sampler.events())
+
+    def test_zero_budget_keeps_counts_only(self):
+        tracer = SamplingTracer(seed=0, rate=1.0, per_kind_budget=0)
+        _emit_mixed(tracer, n_common=100)
+        assert len(tracer) == 0
+        assert tracer.kind_counts()["visit"] == 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SamplingTracer(rate=1.5)
+        with pytest.raises(ValueError):
+            SamplingTracer(per_kind_budget=-1)
+        with pytest.raises(ValueError):
+            SamplingTracer(rates={"visit": 2.0})
+
+    def test_summary_shape(self):
+        tracer = SamplingTracer(seed=4, rate=0.5, per_kind_budget=8)
+        _emit_mixed(tracer, n_common=100)
+        summary = tracer.summary()
+        assert summary["seed"] == 4
+        assert summary["emitted"] == 203
+        assert summary["held"] == len(tracer)
+        assert summary["sink_rows"] == 0
+
+
+class TestMetricsInvariance:
+    def test_metrics_bit_identical_with_and_without_sampling(self):
+        # The ISSUE 10 differential, extending the PR 2 on/off test:
+        # a deterministic sampling tracer (with and without thinning)
+        # must not move a single metric bit.
+        config = TestbedConfig(
+            n_servers=6, users_per_server=1, n_updates=8,
+            game_duration_s=240.0, seed=11,
+        )
+        for method in ("ttl", "invalidation"):
+            plain = build_deployment(config, method).run()
+            for tracer in (
+                SamplingTracer(seed=0, rate=1.0, per_kind_budget=64),
+                SamplingTracer(seed=5, rate=0.05, per_kind_budget=8),
+            ):
+                sampled = build_deployment(
+                    config, method, tracer=tracer
+                ).run()
+                assert plain.to_dict() == sampled.to_dict()
+
+    def test_sampled_subset_of_recorded_on_real_deployment(self):
+        config = TestbedConfig(
+            n_servers=5, users_per_server=1, n_updates=6,
+            game_duration_s=200.0, seed=2,
+        )
+        recorder = RecordingTracer()
+        build_deployment(config, "ttl", tracer=recorder).run()
+        sampler = SamplingTracer(seed=3, rate=0.3, per_kind_budget=32)
+        build_deployment(config, "ttl", tracer=sampler).run()
+        # Exact totals agree; the sampled rows all exist in the full dump.
+        assert sampler.kind_counts() == recorder.kind_counts()
+        full = {e.to_json() for e in recorder.events()}
+        assert all(e.to_json() in full for e in sampler.events())
+
+
+class TestJsonlTraceSink:
+    def test_streams_admitted_events(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        with JsonlTraceSink(path, rotate_kb=1024) as sink:
+            tracer = SamplingTracer(seed=0, rate=1.0, per_kind_budget=4,
+                                    sink=sink)
+            _emit_mixed(tracer, n_common=20, n_rare=1)
+        rows = [json.loads(line) for line in open(path)]
+        # Every admitted event streamed, even ones later evicted from
+        # the reservoir.
+        assert len(rows) == 41
+        assert {row["kind"] for row in rows} == {
+            "visit", "msg_send", "node_down",
+        }
+
+    def test_rotation_bounds_disk(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        sink = JsonlTraceSink(path, rotate_kb=1, keep=2)
+        tracer = SamplingTracer(seed=0, rate=1.0, per_kind_budget=4,
+                                sink=sink)
+        _emit_mixed(tracer, n_common=500)
+        sink.close()
+        assert sink.rotations > 2
+        files = sink.files()
+        assert files[0] == path
+        assert len(files) <= 3  # live file + keep rotated
+        total = sum(os.path.getsize(f) for f in files)
+        assert total <= 3 * 1024 + 4096  # bounded regardless of volume
+
+    def test_keep_zero_truncates_in_place(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        sink = JsonlTraceSink(path, rotate_kb=1, keep=0)
+        tracer = SamplingTracer(seed=0, rate=1.0, per_kind_budget=4,
+                                sink=sink)
+        _emit_mixed(tracer, n_common=200)
+        sink.close()
+        assert sink.files() == [path]
+        assert os.path.getsize(path) <= 2048
+
+    def test_write_after_close_raises(self, tmp_path):
+        sink = JsonlTraceSink(str(tmp_path / "t.jsonl"))
+        sink.close()
+        tracer = SamplingTracer(sink=sink)
+        with pytest.raises(ValueError):
+            tracer.emit(1.0, "visit", "u0")
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            JsonlTraceSink(str(tmp_path / "t.jsonl"), rotate_kb=0)
+        with pytest.raises(ValueError):
+            JsonlTraceSink(str(tmp_path / "t.jsonl"), keep=-1)
+
+
+class TestStreamTracer:
+    def test_writes_through_with_filters(self, tmp_path):
+        out = tmp_path / "stream.jsonl"
+        with open(out, "w") as handle:
+            tracer = StreamTracer(handle, kinds=["node_down"], since=100.0)
+            _emit_mixed(tracer, n_common=50, n_rare=3)
+        rows = [json.loads(line) for line in out.read_text().splitlines()]
+        assert [row["kind"] for row in rows] == ["node_down"] * 3
+        assert tracer.written == 3
+        # Exact counts are pre-filter.
+        assert tracer.kind_counts()["visit"] == 50
+        assert tracer.total_emitted() == 103
+
+    def test_limit_caps_rows_not_counts(self, tmp_path):
+        out = tmp_path / "stream.jsonl"
+        with open(out, "w") as handle:
+            tracer = StreamTracer(handle, limit=5)
+            _emit_mixed(tracer, n_common=100)
+        assert tracer.written == 5
+        assert len(out.read_text().splitlines()) == 5
+        assert tracer.total_emitted() == 203
+
+
+class TestTraceCliStreaming:
+    BIG = [
+        "trace", "--servers", "40", "--users-per-server", "2",
+        "--updates", "20", "--duration", "400",
+    ]
+
+    def test_limit_on_large_deployment(self, tmp_path, capsys):
+        # The ISSUE 10 satellite: events stream incrementally, so a
+        # capped dump of a large deployment writes exactly --limit rows
+        # while still reporting exact totals on stderr.
+        out = str(tmp_path / "big.jsonl")
+        assert cli_main(self.BIG + ["--limit", "7", "--out", out]) == 0
+        rows = [json.loads(line) for line in open(out)]
+        assert len(rows) == 7
+        err = capsys.readouterr().err
+        assert "event(s) recorded, 7 written" in err
+
+    def test_sampled_trace_cli(self, tmp_path, capsys):
+        out = str(tmp_path / "sampled.jsonl")
+        args = self.BIG + [
+            "--sample-rate", "0.1", "--budget", "16",
+            "--sample-seed", "5", "--out", out,
+        ]
+        assert cli_main(args) == 0
+        first = open(out).read()
+        err = capsys.readouterr().err
+        assert "sampling: rate=0.1 budget=16 seed=5" in err
+        # Deterministic: the same invocation reproduces the same rows.
+        assert cli_main(args) == 0
+        assert open(out).read() == first
+
+    def test_stream_filters_on_stdout(self, capsys):
+        assert cli_main(self.BIG + ["--kind", "poll_round", "--limit", "4"]) == 0
+        captured = capsys.readouterr()
+        rows = [json.loads(line) for line in captured.out.splitlines()]
+        assert len(rows) == 4
+        assert all(row["kind"] == "poll_round" for row in rows)

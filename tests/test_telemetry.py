@@ -236,6 +236,80 @@ class TestSnapshotAlgebra:
         assert delta["histograms"] == {}
         assert delta["spans"] == {}
 
+    def test_merge_empty_shard_is_identity_both_ways(self):
+        # A worker shard that did nothing merges as a no-op whether it
+        # arrives first or last.
+        sample = self._sample()
+        original = json.loads(json.dumps(sample))
+        left = merge_snapshots(sample, empty_snapshot())
+        assert left == original
+        right = merge_snapshots(empty_snapshot(), sample)
+        assert right["counters"] == original["counters"]
+        assert right["histograms"] == original["histograms"]
+        assert right["spans"] == original["spans"]
+
+    def test_merge_zero_activity_enabled_registry(self):
+        # An enabled-but-idle registry's snapshot is a valid zero shard:
+        # merging it changes nothing but the (max-merged) peak RSS.
+        idle = MetricsRegistry(enabled=True).snapshot()
+        sample = self._sample()
+        expected_rss = max(sample["peak_rss_kb"], idle["peak_rss_kb"])
+        merged = merge_snapshots(sample, idle)
+        assert merged["counters"] == self._sample()["counters"]
+        assert merged["peak_rss_kb"] == expected_rss
+
+    def test_merge_disjoint_histogram_keys(self):
+        a, b = self._sample(), self._sample()
+        b["histograms"] = {
+            "other": {"edges": [5.0], "counts": [1, 0], "total": 1,
+                      "sum": 2.5},
+        }
+        merged = merge_snapshots(a, b)
+        assert set(merged["histograms"]) == {"h", "other"}
+        # The adopted histogram is a copy, not an alias into b.
+        merged["histograms"]["other"]["counts"][0] = 99
+        assert b["histograms"]["other"]["counts"][0] == 1
+
+    def test_merge_peak_rss_max_with_missing_keys(self):
+        a, b = self._sample(), self._sample()
+        a.pop("peak_rss_kb", None)
+        b["peak_rss_kb"] = 123
+        assert merge_snapshots(a, b)["peak_rss_kb"] == 123
+        c = self._sample()
+        c["peak_rss_kb"] = 456
+        assert merge_snapshots(c, {"counters": {}})["peak_rss_kb"] == 456
+
+
+class TestPeakRss:
+    def _patch_rusage(self, monkeypatch, maxrss):
+        import resource
+
+        class FakeUsage:
+            ru_maxrss = maxrss
+
+        monkeypatch.setattr(
+            resource, "getrusage", lambda who: FakeUsage()
+        )
+
+    def test_linux_reports_kib_verbatim(self, monkeypatch):
+        import repro.obs.telemetry as telemetry
+
+        self._patch_rusage(monkeypatch, 2048)
+        monkeypatch.setattr(telemetry.sys, "platform", "linux")
+        assert peak_rss_kb() == 2048
+
+    def test_darwin_bytes_normalized_to_kib(self, monkeypatch):
+        # macOS ru_maxrss is bytes; the same physical footprint must
+        # read identically on both platforms.
+        import repro.obs.telemetry as telemetry
+
+        self._patch_rusage(monkeypatch, 2048 * 1024)
+        monkeypatch.setattr(telemetry.sys, "platform", "darwin")
+        assert peak_rss_kb() == 2048
+
+    def test_real_process_nonzero(self):
+        assert peak_rss_kb() > 0
+
 
 # ----------------------------------------------------------------------
 # prometheus exposition
